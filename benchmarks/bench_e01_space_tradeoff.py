@@ -1,0 +1,22 @@
+"""E1 — Theorem 2 space scaling: stored projections grow as m·n^{1/α}.
+
+Reproduces the headline tradeoff: for each α the measured stored-projection
+peak of Algorithm 1 is fitted against n in log-log space and the fitted
+exponent should track 1/α (α=1 stores everything; larger α stores roughly
+n^{1/α}).
+"""
+
+from repro.experiments.experiment_defs import run_e01_space_tradeoff
+
+
+def test_e01_space_tradeoff(experiment_runner):
+    result = experiment_runner(run_e01_space_tradeoff)
+    findings = result.findings
+    # α = 1 stores essentially the whole input: exponent ≈ 1.
+    assert 0.85 <= findings["alpha_1_fitted_exponent"] <= 1.15
+    # Larger α: the exponent drops towards 1/α; we assert ordering and a
+    # generous band around the theoretical value (finite-size effects).
+    assert findings["alpha_2_fitted_exponent"] < findings["alpha_1_fitted_exponent"]
+    assert findings["alpha_3_fitted_exponent"] < findings["alpha_2_fitted_exponent"]
+    assert 0.25 <= findings["alpha_2_fitted_exponent"] <= 0.75
+    assert 0.1 <= findings["alpha_3_fitted_exponent"] <= 0.6

@@ -1,0 +1,10 @@
+"""E2 — Theorem 2 guarantees: ≤ (α+ε)·opt sets in ≤ 2α+1 (+1 clean-up) passes."""
+
+from repro.experiments.experiment_defs import run_e02_passes_and_approx
+
+
+def test_e02_passes_and_approx(experiment_runner):
+    result = experiment_runner(run_e02_passes_and_approx)
+    assert result.findings["approx_bound_violations"] == 0
+    assert result.findings["pass_bound_violations"] == 0
+    assert result.findings["rows"] >= 9

@@ -1,0 +1,17 @@
+"""E3 — Lemma 3.12: element sampling preserves (1−ρ)-coverage.
+
+Also an ablation over the sampling constant: the paper's constant 16 never
+violates the guarantee; much smaller constants start to (at small scale the
+violation may remain rare, so only the c=16 row is asserted).
+"""
+
+from repro.experiments.experiment_defs import run_e03_element_sampling
+
+
+def test_e03_element_sampling(experiment_runner):
+    result = experiment_runner(run_e03_element_sampling)
+    paper_constant_rates = [
+        rate for key, rate in result.findings.items() if key.startswith("c16.0")
+    ]
+    assert paper_constant_rates, "expected findings for the paper's constant 16"
+    assert all(rate == 0.0 for rate in paper_constant_rates)

@@ -1,0 +1,8 @@
+"""E4 — Lemma 2.2: the shortfall probability stays below the proved bound."""
+
+from repro.experiments.experiment_defs import run_e04_covering_lemma
+
+
+def test_e04_covering_lemma(experiment_runner):
+    result = experiment_runner(run_e04_covering_lemma)
+    assert result.findings["all_within_bound"]

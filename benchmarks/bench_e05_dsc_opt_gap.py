@@ -1,0 +1,19 @@
+"""E5 — Lemma 3.2 / Remark 3.1: the optimum gap of the hard distribution D_SC.
+
+θ=1 samples have opt = 2; θ=0 samples have opt > 2 always (the separation an
+exact estimator must detect) and opt > 2α for most samples at reproduction
+scale (the full asymptotic gap needs the paper's 2^{-15} constant in t).
+"""
+
+from repro.experiments.experiment_defs import run_e05_dsc_opt_gap
+
+
+def test_e05_dsc_opt_gap(experiment_runner):
+    result = experiment_runner(run_e05_dsc_opt_gap)
+    findings = result.findings
+    assert findings["weak_gap_failures"] == 0
+    assert findings["theta1_max_opt"] <= 2
+    assert findings["theta0_min_opt"] >= 3
+    # The strong (> 2α) gap holds for at least half of the θ=0 samples.
+    theta0_trials = findings["trials"] // 2
+    assert findings["strong_gap_failures"] <= theta0_trials / 2

@@ -1,0 +1,9 @@
+"""E7 — Lemma 3.4: Disj is solved correctly through the D_SC embedding."""
+
+from repro.experiments.experiment_defs import run_e07_reduction_disj
+
+
+def test_e07_reduction_disj(experiment_runner):
+    result = experiment_runner(run_e07_reduction_disj)
+    assert result.findings["error_rate"] <= 0.1
+    assert result.findings["t"] >= 2

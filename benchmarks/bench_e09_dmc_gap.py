@@ -1,0 +1,10 @@
+"""E9 — Lemma 4.3 / Claim 4.4: the (1 ± Θ(ε)) gap of D_MC for k = 2."""
+
+from repro.experiments.experiment_defs import run_e09_dmc_gap
+
+
+def test_e09_dmc_gap(experiment_runner):
+    result = experiment_runner(run_e09_dmc_gap)
+    assert result.findings["side_failures"] == 0
+    assert result.findings["claim_4_4_failures"] == 0
+    assert result.findings["rows"] >= 4

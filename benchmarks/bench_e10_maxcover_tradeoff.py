@@ -1,0 +1,17 @@
+"""E10 — Theorems 4/5 shape: (1−ε)-approximate max coverage costs ~ m/ε².
+
+The streaming element-sampling algorithm's space grows roughly as (1/ε)²,
+and the Lemma 4.5 reduction answers GHD correctly through a max-coverage
+oracle.
+"""
+
+from repro.experiments.experiment_defs import run_e10_maxcover_tradeoff
+
+
+def test_e10_maxcover_tradeoff(experiment_runner):
+    result = experiment_runner(run_e10_maxcover_tradeoff)
+    findings = result.findings
+    # Fitted exponent of space vs 1/ε should be near 2 (generous band for
+    # finite-size effects and the log m factor).
+    assert 1.2 <= findings["space_exponent_vs_inverse_epsilon"] <= 2.8
+    assert findings["ghd_reduction_error_rate"] <= 0.25

@@ -1,0 +1,22 @@
+"""E11 — Positioning: Algorithm 1 vs prior streaming set cover algorithms.
+
+The one-shot-pruning algorithm stores no more than the iterative-pruning
+(Har-Peled et al.) variant and far less than store-everything, while keeping
+the α-approximation; the single-pass heuristics use little space but give a
+much worse cover.
+"""
+
+from repro.experiments.experiment_defs import run_e11_baselines
+
+
+def test_e11_baselines(experiment_runner):
+    result = experiment_runner(run_e11_baselines)
+    findings = result.findings
+    # Ablation: one-shot pruning (ours) stores no more than iterative pruning.
+    assert findings["algorithm1_space"] <= findings["har_peled_space"]
+    # Both are far below the store-everything baseline.
+    assert findings["algorithm1_space"] < findings["store_space"]
+    # Algorithm 1 keeps the α-approximation on this workload.
+    assert findings["algorithm1_ratio"] <= 2.5
+    # The single-pass greedy heuristic is markedly worse.
+    assert findings["saha_getoor_ratio"] >= findings["algorithm1_ratio"]

@@ -1,0 +1,9 @@
+"""E12 — Appendix A facts and exact information quantities on D_Disj."""
+
+from repro.experiments.experiment_defs import run_e12_infotheory
+
+
+def test_e12_infotheory(experiment_runner):
+    result = experiment_runner(run_e12_infotheory)
+    assert result.findings["all_facts_hold"]
+    assert result.findings["transcript_information_lower_bound"] > 0

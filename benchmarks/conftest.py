@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark wraps one experiment from :mod:`repro.experiments` in a
+pytest-benchmark target, runs it once (the experiments are already internally
+repeated / swept), prints the resulting table — the reproduction of the
+paper's quantitative claim — and asserts the claim's *shape* on the findings.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and print it."""
+    result = benchmark.pedantic(
+        lambda: func(*args, **kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def experiment_runner(benchmark):
+    """Fixture exposing :func:`run_once` bound to the active benchmark."""
+
+    def _run(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,64 @@
+"""Blog-watch: streaming maximum coverage over a topic workload.
+
+Recreates the motivating application of Saha and Getoor (SDM 2009) that
+started the streaming coverage line of work the paper belongs to: blogs
+arrive in a stream, each covering a set of topics, and we must pick k blogs
+covering as many topics as possible without storing the stream.
+
+The example compares the single-pass element-sampling algorithm (whose space
+scales as 1/ε², the dependence Theorem 4 of the paper proves necessary)
+against the exact offline optimum, across several values of ε.
+
+Run:  python examples/blog_watch_maxcover.py
+"""
+
+from __future__ import annotations
+
+from repro import StreamingMaxCoverage, run_streaming_algorithm
+from repro.setcover.maxcover import greedy_max_coverage
+from repro.utils.tables import Table
+from repro.workloads.coverage import topic_coverage_instance
+
+
+def main() -> None:
+    k = 4
+    instance = topic_coverage_instance(
+        num_topics=4000, num_items=80, communities=k, seed=99
+    )
+    print(f"blog-watch workload: {instance.num_sets} blogs over "
+          f"{instance.universe_size} topics, picking k={k}")
+
+    # Offline reference: the classical greedy (1 - 1/e)-approximation run with
+    # the whole input in memory.
+    _, offline_value = greedy_max_coverage(instance.system, k)
+    print(f"offline greedy coverage: {offline_value} topics\n")
+
+    table = Table(
+        ["epsilon", "estimated coverage", "relative error", "peak space (words)", "passes"],
+        title="streaming (1-eps)-approximate max coverage",
+    )
+    for epsilon in (0.5, 0.35, 0.25, 0.15):
+        algorithm = StreamingMaxCoverage(
+            k=k, epsilon=epsilon, solver="greedy", sampling_constant=2.0, seed=7
+        )
+        result = run_streaming_algorithm(
+            algorithm, instance.system, verify_solution=False
+        )
+        estimate = result.estimated_value or 0.0
+        relative_error = abs(estimate - offline_value) / offline_value
+        table.add_row(
+            epsilon,
+            round(estimate, 1),
+            round(relative_error, 3),
+            result.space.peak_words,
+            result.passes,
+        )
+    print(table.render())
+    print(
+        "\nNote how shrinking epsilon inflates the retained space roughly like 1/eps^2 —"
+        "\nthe m/eps^2 dependence that Theorem 4 of the paper shows is unavoidable."
+    )
+
+
+if __name__ == "__main__":
+    main()

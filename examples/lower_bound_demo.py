@@ -1,0 +1,85 @@
+"""A guided tour of the paper's lower-bound machinery.
+
+Walks through the constructions of Section 3: samples the hard distribution
+D_SC, verifies its structural properties (Remark 3.1), shows the optimum gap
+between the θ = 0 and θ = 1 worlds (Lemma 3.2 at reproduction scale), runs the
+Lemma 3.4 reduction that answers set disjointness through a set cover oracle,
+and compares the communication cost of the trivial protocol against the
+Algorithm-1 simulation.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.communication.protocols.setcover_protocol import (
+    FullExchangeSetCoverProtocol,
+    TwoPartyAlgorithmOneProtocol,
+)
+from repro.lowerbound.dsc import DSCParameters, sample_dsc
+from repro.lowerbound.properties import check_remark_3_1, dsc_opt_gap
+from repro.lowerbound.reduction import DisjViaSetCoverProtocol, evaluate_disj_reduction
+from repro.problems.disjointness import sample_ddisj
+from repro.utils.rng import RandomSource
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    rng = RandomSource(2017)
+    parameters = DSCParameters(universe_size=400, num_pairs=6, alpha=2, t=5)
+    print(
+        f"D_SC parameters: n={parameters.universe_size}, m={parameters.num_pairs} pairs, "
+        f"alpha={parameters.alpha}, t={parameters.resolved_t()}\n"
+    )
+
+    # 1. The optimum gap between the two hidden worlds.
+    table = Table(["theta", "optimum", "meaning"], title="Lemma 3.2 optimum gap")
+    for theta in (1, 0):
+        instance = sample_dsc(parameters, seed=rng.spawn(), theta=theta)
+        verdict = dsc_opt_gap(instance)
+        meaning = (
+            "the special pair covers everything"
+            if theta == 1
+            else "every small collection leaves elements uncovered"
+        )
+        table.add_row(theta, verdict["opt"], meaning)
+        for check in check_remark_3_1(instance):
+            status = "ok" if check.holds else "FAILED"
+            print(f"  remark 3.1 check [{status}]: {check.name}")
+    print()
+    print(table.render())
+
+    # 2. The Lemma 3.4 reduction: Disj answered through a set cover oracle.
+    reduction = DisjViaSetCoverProtocol(
+        FullExchangeSetCoverProtocol(solver="exact"),
+        parameters,
+        seed=rng.spawn(),
+        decision_threshold=2,
+    )
+    disj_instances = [
+        sample_ddisj(parameters.resolved_t(), seed=rng.spawn()) for _ in range(8)
+    ]
+    error_rate, avg_bits = evaluate_disj_reduction(reduction, disj_instances)
+    print(
+        f"\nLemma 3.4 reduction: {len(disj_instances)} Disj instances answered through a"
+        f"\nset cover oracle, error rate {error_rate:.2f}, average {avg_bits:.0f} bits."
+    )
+
+    # 3. Communication cost: trivial vs Algorithm-1 simulation.
+    instance = sample_dsc(parameters, seed=rng.spawn(), theta=0)
+    alice, bob = instance.communication_inputs()
+    full = FullExchangeSetCoverProtocol(solver="greedy").execute(alice, bob)
+    approx = TwoPartyAlgorithmOneProtocol(
+        alpha=2, opt_guess=2, seed=rng.spawn(), sampling_constant=1.0
+    ).execute(alice, bob)
+    print(
+        f"\nCommunication on one D_SC instance:"
+        f"\n  full exchange      : {full.total_bits} bits (estimate opt = {full.output})"
+        f"\n  Algorithm-1 protocol: {approx.total_bits} bits (estimate opt = {approx.output})"
+        f"\nTheorem 3 says no alpha-approximation protocol can do asymptotically better"
+        f"\nthan m*n^(1/alpha) — the gap between these two costs is all there is to gain."
+    )
+
+
+if __name__ == "__main__":
+    main()

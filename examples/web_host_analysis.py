@@ -1,0 +1,85 @@
+"""Web-host analysis: multi-pass streaming set cover on a hub-and-niche workload.
+
+Models the web-host / document-coverage applications from the paper's
+introduction: hosts arrive in a stream, each covering a set of queries; a
+handful of large "CDN" hosts can cover every query, but they are hidden among
+many small niche hosts.  We need a small set of hosts covering everything
+without storing the stream.
+
+The example runs the paper's Algorithm 1 at several values of α (more passes,
+less memory) next to the prior streaming algorithms, showing the
+pass / space / quality tradeoff whose exact exponent the paper determines.
+Algorithm 1 is given a practitioner's estimate of the optimum (say, from last
+month's batch run); `OptGuessingSetCover` removes that assumption at the cost
+of an extra Õ(1/ε) space factor.
+
+Run:  python examples/web_host_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import run_streaming_algorithm
+from repro.baselines import (
+    EmekRosenSemiStreaming,
+    ProgressiveGreedyPasses,
+    SahaGetoorGreedy,
+    StoreEverythingSetCover,
+)
+from repro.core.algorithm1 import AlgorithmOneConfig, StreamingSetCover
+from repro.utils.tables import Table
+from repro.workloads.random_instances import plant_cover_instance
+
+
+def main() -> None:
+    # 4096 queries; 5 planted CDN hosts cover everything, 95 niche hosts are
+    # decoys.  The planted optimum is exactly 5.
+    instance = plant_cover_instance(
+        universe_size=4096, num_sets=100, cover_size=5, seed=41
+    )
+    opt_estimate = instance.planted_opt
+    print(
+        f"web-host workload: {instance.num_sets} hosts over "
+        f"{instance.universe_size} queries (optimal cover: {opt_estimate} hosts)\n"
+    )
+
+    def algorithm1(alpha: int) -> StreamingSetCover:
+        config = AlgorithmOneConfig(
+            alpha=alpha,
+            opt_guess=opt_estimate,
+            epsilon=0.5,
+            # The paper's sampling constant 16 is an artifact of the
+            # asymptotic analysis; a unit constant keeps the sampling rate
+            # below 1 at this scale without affecting correctness.
+            sampling_constant=1.0,
+            subinstance_solver="greedy",
+        )
+        return StreamingSetCover(config, seed=3)
+
+    algorithms = [
+        ("Algorithm 1 (alpha=1)", algorithm1(1)),
+        ("Algorithm 1 (alpha=2)", algorithm1(2)),
+        ("Algorithm 1 (alpha=3)", algorithm1(3)),
+        ("Saha-Getoor single pass", SahaGetoorGreedy()),
+        ("Emek-Rosen semi-streaming", EmekRosenSemiStreaming()),
+        ("Demaine et al. progressive", ProgressiveGreedyPasses(num_passes=6)),
+        ("store everything", StoreEverythingSetCover(solver="greedy")),
+    ]
+
+    table = Table(
+        ["algorithm", "hosts used", "passes", "peak space (words)"],
+        title="streaming set cover on the web-host workload",
+    )
+    for label, algorithm in algorithms:
+        result = run_streaming_algorithm(
+            algorithm, instance.system, verify_solution=False
+        )
+        table.add_row(label, result.solution_size, result.passes, result.space.peak_words)
+    print(table.render())
+    print(
+        "\nMore passes (larger alpha) buy smaller space at the same cover quality —"
+        "\nthe tradeoff whose exact exponent (n^(1/alpha)) the paper determines."
+    )
+
+
+if __name__ == "__main__":
+    main()

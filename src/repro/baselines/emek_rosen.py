@@ -1,0 +1,58 @@
+"""Semi-streaming set cover in the spirit of Emek and Rosén (ICALP 2014).
+
+One pass, Õ(n) space: for every element the algorithm remembers the best
+"effectiveness" set seen so far (a set's effectiveness for an element is the
+reciprocal of the number of new elements it would be credited with).  At the
+end of the pass the remembered sets form the solution.  The approximation is
+O(√n) — which is optimal for single-pass Õ(n)-space algorithms — and E11 uses
+it as the "small space, weak approximation" end of the tradeoff curve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
+from repro.streaming.stream import SetStream
+from repro.utils.bitset import bitset_size, bitset_to_set
+
+
+class EmekRosenSemiStreaming(StreamingAlgorithm):
+    """One-pass semi-streaming set cover: per-element best-set bookkeeping."""
+
+    name = "emek-rosen-semi-streaming"
+
+    def __init__(self, space_budget: Optional[int] = None) -> None:
+        super().__init__(space_budget=space_budget)
+
+    def run(self, stream: SetStream) -> StreamingResult:
+        n = stream.universe_size
+        # For each element: (credited set index, credit size of that set).
+        responsible: Dict[int, int] = {}
+        credit_size: Dict[int, int] = {}
+        self.space.set_usage("per_element_state", 2 * n)
+
+        for set_index, mask in stream.iterate_pass():
+            size = bitset_size(mask)
+            if size == 0:
+                continue
+            # The set claims every element for which it beats the current
+            # credit (larger claimed chunks are better).
+            claimable = [
+                element
+                for element in bitset_to_set(mask)
+                if credit_size.get(element, 0) < size
+            ]
+            if not claimable:
+                continue
+            for element in claimable:
+                responsible[element] = set_index
+                credit_size[element] = size
+
+        solution = sorted(set(responsible.values()))
+        self.space.set_usage("solution", len(solution))
+        covered = stream.system.coverage_mask(solution) if solution else 0
+        metadata = {
+            "uncovered_after_run": n - bitset_size(covered),
+        }
+        return self._finalize(stream, solution, metadata=metadata)

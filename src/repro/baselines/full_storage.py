@@ -1,0 +1,89 @@
+"""Store-everything baselines: one pass, Θ(mn) space, offline solve.
+
+These mark the trivial upper end of the space axis that Theorem 1 shows is
+unavoidable up to the ``n^{1-1/α}`` factor for α-approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.setcover.exact import exact_set_cover
+from repro.setcover.greedy import greedy_set_cover
+from repro.setcover.instance import SetSystem
+from repro.setcover.maxcover import exact_max_coverage, greedy_max_coverage
+from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
+from repro.streaming.stream import SetStream
+from repro.utils.bitset import bitset_size
+
+
+class StoreEverythingSetCover(StreamingAlgorithm):
+    """Store the whole stream, then solve set cover offline."""
+
+    name = "store-everything-setcover"
+
+    def __init__(
+        self,
+        solver: str = "greedy",
+        space_budget: Optional[int] = None,
+    ) -> None:
+        super().__init__(space_budget=space_budget)
+        if solver not in ("exact", "greedy"):
+            raise ValueError(f"solver must be 'exact' or 'greedy', got {solver!r}")
+        self.solver = solver
+
+    def run(self, stream: SetStream) -> StreamingResult:
+        n = stream.universe_size
+        m = stream.num_sets
+        masks = [0] * m
+        stored = 0
+        for set_index, mask in stream.iterate_pass():
+            masks[set_index] = mask
+            stored += bitset_size(mask)
+            self.space.set_usage("stored_incidences", stored)
+        system = SetSystem.from_masks(n, masks)
+        if self.solver == "exact":
+            solution = exact_set_cover(system)
+        else:
+            solution = greedy_set_cover(system)
+        self.space.set_usage("solution", len(solution))
+        return self._finalize(stream, solution)
+
+
+class StoreEverythingMaxCover(StreamingAlgorithm):
+    """Store the whole stream, then solve maximum k-coverage offline."""
+
+    name = "store-everything-maxcover"
+
+    def __init__(
+        self,
+        k: int,
+        solver: str = "greedy",
+        space_budget: Optional[int] = None,
+    ) -> None:
+        super().__init__(space_budget=space_budget)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if solver not in ("exact", "greedy"):
+            raise ValueError(f"solver must be 'exact' or 'greedy', got {solver!r}")
+        self.k = k
+        self.solver = solver
+
+    def run(self, stream: SetStream) -> StreamingResult:
+        n = stream.universe_size
+        m = stream.num_sets
+        masks = [0] * m
+        stored = 0
+        for set_index, mask in stream.iterate_pass():
+            masks[set_index] = mask
+            stored += bitset_size(mask)
+            self.space.set_usage("stored_incidences", stored)
+        system = SetSystem.from_masks(n, masks)
+        if self.solver == "exact":
+            chosen, value = exact_max_coverage(system, self.k)
+        else:
+            chosen, value = greedy_max_coverage(system, self.k)
+        self.space.set_usage("solution", len(chosen))
+        return self._finalize(
+            stream, chosen, estimated_value=float(value), metadata={"k": self.k}
+        )

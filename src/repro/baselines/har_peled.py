@@ -1,0 +1,169 @@
+"""Multi-pass set cover with *iterative* pruning (Har-Peled et al., PODS 2016).
+
+The original algorithm alternates element sampling with an extra "pruning"
+step in every iteration: sets that still cover many uncovered elements are
+taken greedily before the sampled sub-instance is solved.  The per-iteration
+pruning threshold decays geometrically, which is what pushes the space
+exponent to Θ(1/α) with a constant larger than 2; the paper's Algorithm 1
+replaces this with a single up-front pruning pass and a sharper sampling rate,
+reaching exactly n^{1/α}.
+
+This reimplementation is faithful at the level the two papers describe the
+difference (E11's ablation: iterative vs one-shot pruning), not a line-by-line
+port of [32]'s pseudo-code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.element_sampling import element_sample, sampling_probability
+from repro.exceptions import InfeasibleInstanceError
+from repro.setcover.exact import exact_set_cover
+from repro.setcover.greedy import greedy_set_cover
+from repro.setcover.instance import SetSystem
+from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
+from repro.streaming.stream import SetStream
+from repro.utils.bitset import bitset_from_iterable, bitset_size, bitset_to_set
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+class IterativePruningSetCover(StreamingAlgorithm):
+    """Har-Peled-style α-approximation with per-iteration pruning.
+
+    Parameters mirror :class:`~repro.core.algorithm1.AlgorithmOneConfig`; the
+    key differences from Algorithm 1 are (a) pruning happens inside every
+    iteration with a geometrically decreasing threshold and (b) the element
+    sampling rate uses the weaker exponent ``2/α`` (the "Θ(1/α) with constant
+    ≥ 2" of the original analysis), so the stored projections are larger.
+    """
+
+    name = "har-peled-iterative-pruning"
+
+    def __init__(
+        self,
+        alpha: int,
+        opt_guess: int,
+        epsilon: float = 0.5,
+        subinstance_solver: str = "greedy",
+        sampling_constant: float = 16.0,
+        seed: SeedLike = None,
+        space_budget: Optional[int] = None,
+    ) -> None:
+        super().__init__(space_budget=space_budget)
+        if alpha < 1:
+            raise ValueError(f"alpha must be >= 1, got {alpha}")
+        if opt_guess < 1:
+            raise ValueError(f"opt_guess must be >= 1, got {opt_guess}")
+        self.alpha = alpha
+        self.opt_guess = opt_guess
+        self.epsilon = epsilon
+        self.subinstance_solver = subinstance_solver
+        self.sampling_constant = sampling_constant
+        self._rng = spawn_rng(seed)
+
+    def run(self, stream: SetStream) -> StreamingResult:
+        n = stream.universe_size
+        m = stream.num_sets
+        uncovered = (1 << n) - 1
+        solution: List[int] = []
+        chosen = set()
+        metadata: Dict[str, object] = {"sample_sizes": [], "stored_incidences_per_round": []}
+        self.space.set_usage("uncovered_universe", n)
+
+        # The weaker sampling exponent of the original analysis.
+        rho = n ** (-min(1.0, 2.0 / self.alpha)) if n > 1 else 0.5
+
+        for iteration in range(self.alpha):
+            if uncovered == 0:
+                break
+            # Iterative pruning pass: threshold decays with the iteration.
+            threshold = n / (self.epsilon * self.opt_guess * (2 ** iteration))
+            for set_index, mask in stream.iterate_pass():
+                if set_index in chosen:
+                    continue
+                if bitset_size(mask & uncovered) >= max(1.0, threshold):
+                    chosen.add(set_index)
+                    solution.append(set_index)
+                    uncovered &= ~mask
+                    self.space.set_usage("solution", len(solution))
+            if uncovered == 0:
+                break
+
+            probability = sampling_probability(
+                universe_size=n,
+                num_sets=m,
+                cover_size_bound=self.opt_guess,
+                rho=rho,
+                constant=self.sampling_constant,
+            )
+            sample = element_sample(
+                bitset_to_set(uncovered), probability, seed=self._rng.spawn()
+            )
+            sample_mask = bitset_from_iterable(sample)
+            metadata["sample_sizes"].append(len(sample))
+            self.space.set_usage("sampled_universe", len(sample))
+
+            projections = [0] * m
+            stored = 0
+            for set_index, mask in stream.iterate_pass():
+                projections[set_index] = mask & sample_mask
+                stored += bitset_size(projections[set_index])
+                self.space.set_usage("stored_incidences", stored)
+            metadata["stored_incidences_per_round"].append(stored)
+
+            system = SetSystem.from_masks(n, projections)
+            target = sample_mask
+            for index in chosen:
+                target &= ~projections[index]
+            coverable = 0
+            for mask in projections:
+                coverable |= mask
+            target &= coverable
+            round_solution: List[int] = []
+            if target:
+                try:
+                    if self.subinstance_solver == "exact":
+                        round_solution = exact_set_cover(system, target_mask=target)
+                    else:
+                        round_solution = greedy_set_cover(system, required_mask=target)
+                except InfeasibleInstanceError:
+                    round_solution = []
+
+            round_set = set(round_solution)
+            for set_index, mask in stream.iterate_pass():
+                if set_index in round_set:
+                    uncovered &= ~mask
+            for set_index in round_solution:
+                if set_index not in chosen:
+                    chosen.add(set_index)
+                    solution.append(set_index)
+            self.space.set_usage("solution", len(solution))
+            self.space.reset_category("stored_incidences")
+            self.space.reset_category("sampled_universe")
+
+        if uncovered:
+            for set_index, mask in stream.iterate_pass():
+                if uncovered == 0:
+                    break
+                if set_index in chosen:
+                    continue
+                if mask & uncovered:
+                    chosen.add(set_index)
+                    solution.append(set_index)
+                    uncovered &= ~mask
+                    self.space.set_usage("solution", len(solution))
+            metadata["cleanup_used"] = True
+
+        metadata["uncovered_after_run"] = bitset_size(uncovered)
+        return self._finalize(stream, solution, metadata=metadata)
+
+
+def har_peled_space_words(
+    universe_size: int, num_sets: int, alpha: int, epsilon: float = 0.5
+) -> float:
+    """Predicted stored words Õ(m·n^{2/α}) for the iterative-pruning algorithm."""
+    exponent = min(1.0, 2.0 / alpha)
+    log_m = math.log(max(num_sets, 2))
+    return 16 * num_sets * universe_size ** exponent * log_m / epsilon + universe_size

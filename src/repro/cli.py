@@ -1,0 +1,138 @@
+"""Command-line interface for running the reproduction experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli list
+    python -m repro.cli run E2 E5 --seed 7
+    python -m repro.cli run all --json results.json --markdown report.md
+
+The CLI is a thin wrapper over :mod:`repro.experiments`: it resolves
+experiment ids, runs them with optional seed overrides, prints the tables,
+and optionally persists JSON / markdown reports via
+:mod:`repro.experiments.report`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.experiment_defs import EXPERIMENT_REGISTRY
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import save_markdown_report, save_results_json
+
+#: Short human-readable descriptions shown by ``list``.
+EXPERIMENT_DESCRIPTIONS: Dict[str, str] = {
+    "E1": "Algorithm 1 space scales as m*n^(1/alpha) (Theorem 2)",
+    "E2": "Algorithm 1 pass count and approximation bounds (Theorem 2)",
+    "E3": "Element sampling preserves coverage (Lemma 3.12)",
+    "E4": "Coverage concentration of random large sets (Lemma 2.2)",
+    "E5": "Optimum gap of the hard distribution D_SC (Lemma 3.2)",
+    "E6": "Two-party communication cost on D_SC (Theorem 3)",
+    "E7": "Disjointness via a set cover oracle (Lemma 3.4)",
+    "E8": "Random partitioning / random arrival robustness (Lemma 3.7)",
+    "E9": "Maximum coverage gap of D_MC (Lemma 4.3 / Claim 4.4)",
+    "E10": "Max coverage space grows as m/eps^2 (Theorems 4/5)",
+    "E11": "Algorithm 1 vs prior streaming algorithms",
+    "E12": "Information-theory facts and D_Disj quantities (Appendix A)",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the reproduction experiments for Assadi (PODS 2017).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (e.g. E1 E5) or 'all'",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiment seed"
+    )
+    run_parser.add_argument(
+        "--json", type=str, default=None, help="write results to this JSON file"
+    )
+    run_parser.add_argument(
+        "--markdown", type=str, default=None, help="write a markdown report here"
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="do not print the per-experiment tables"
+    )
+    return parser
+
+
+def resolve_experiment_ids(requested: Sequence[str]) -> List[str]:
+    """Expand 'all' and validate experiment ids (case-insensitive)."""
+    if any(entry.lower() == "all" for entry in requested):
+        return sorted(EXPERIMENT_REGISTRY, key=lambda eid: int(eid[1:]))
+    resolved = []
+    for entry in requested:
+        canonical = entry.upper()
+        if canonical not in EXPERIMENT_REGISTRY:
+            raise SystemExit(
+                f"unknown experiment {entry!r}; run 'repro list' to see the options"
+            )
+        resolved.append(canonical)
+    return resolved
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    seed: Optional[int] = None,
+    printer: Callable[[str], None] = print,
+    quiet: bool = False,
+) -> List[ExperimentResult]:
+    """Run the given experiments, printing progress, and return the results."""
+    results: List[ExperimentResult] = []
+    for experiment_id in experiment_ids:
+        runner = EXPERIMENT_REGISTRY[experiment_id]
+        kwargs = {"seed": seed} if seed is not None else {}
+        started = time.time()
+        result = runner(**kwargs)
+        elapsed = time.time() - started
+        results.append(result)
+        if quiet:
+            printer(f"[{experiment_id}] done in {elapsed:.1f}s")
+        else:
+            printer(result.render())
+            printer(f"[{experiment_id}] done in {elapsed:.1f}s")
+            printer("")
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENT_REGISTRY, key=lambda eid: int(eid[1:])):
+            description = EXPERIMENT_DESCRIPTIONS.get(experiment_id, "")
+            print(f"{experiment_id:>4}  {description}")
+        return 0
+
+    experiment_ids = resolve_experiment_ids(args.experiments)
+    results = run_experiments(experiment_ids, seed=args.seed, quiet=args.quiet)
+    if args.json:
+        path = save_results_json(results, args.json)
+        print(f"wrote {path}")
+    if args.markdown:
+        path = save_markdown_report(
+            results, args.markdown, title="Streaming set cover reproduction report"
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Two-party communication model substrate.
+
+Implements Yao's two-party model as used throughout the paper's lower-bound
+section: Alice and Bob hold private inputs, exchange messages in rounds, and
+the communication cost of a run is the total bit-length of the transcript.
+Concrete protocols for set disjointness, gap-hamming-distance, and the
+two-party set cover / maximum coverage problems live in
+:mod:`repro.communication.protocols`.
+"""
+
+from repro.communication.model import (
+    Message,
+    Transcript,
+    Protocol,
+    TwoPartyProtocol,
+    run_protocol,
+)
+from repro.communication.cost import (
+    transcript_bits,
+    worst_case_communication,
+    average_communication,
+)
+
+__all__ = [
+    "Message",
+    "Transcript",
+    "Protocol",
+    "TwoPartyProtocol",
+    "run_protocol",
+    "transcript_bits",
+    "worst_case_communication",
+    "average_communication",
+]

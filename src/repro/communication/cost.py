@@ -1,0 +1,61 @@
+"""Communication cost accounting over collections of transcripts.
+
+Definition 1 of the paper: the communication cost of a protocol on a
+distribution is the *worst-case* transcript length; the communication
+complexity of a problem is the minimum over δ-error protocols.  The helpers
+here compute worst-case and average costs over sampled inputs, which is how
+the E6/E10 benchmarks report the cost of the concrete protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.communication.model import Protocol, Transcript
+
+
+def transcript_bits(transcript: Transcript) -> int:
+    """Total bit-length of one transcript."""
+    return transcript.total_bits
+
+
+def worst_case_communication(transcripts: Iterable[Transcript]) -> int:
+    """Maximum transcript length over the given runs (Definition 1)."""
+    costs = [t.total_bits for t in transcripts]
+    if not costs:
+        raise ValueError("need at least one transcript")
+    return max(costs)
+
+
+def average_communication(transcripts: Iterable[Transcript]) -> float:
+    """Average transcript length over the given runs."""
+    costs = [t.total_bits for t in transcripts]
+    if not costs:
+        raise ValueError("need at least one transcript")
+    return sum(costs) / len(costs)
+
+
+def evaluate_protocol(
+    protocol: Protocol,
+    instances: Sequence[Tuple[object, object]],
+    correct: Callable[[Tuple[object, object], object], bool],
+) -> Tuple[float, int, float]:
+    """Run a protocol over sampled instances and summarise it.
+
+    Returns ``(error_rate, worst_case_bits, average_bits)`` where ``correct``
+    judges the protocol output against each ``(alice_input, bob_input)`` pair.
+    """
+    if not instances:
+        raise ValueError("need at least one instance")
+    transcripts: List[Transcript] = []
+    errors = 0
+    for alice_input, bob_input in instances:
+        transcript = protocol.execute(alice_input, bob_input)
+        transcripts.append(transcript)
+        if not correct((alice_input, bob_input), transcript.output):
+            errors += 1
+    return (
+        errors / len(instances),
+        worst_case_communication(transcripts),
+        average_communication(transcripts),
+    )

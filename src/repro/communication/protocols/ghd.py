@@ -1,0 +1,78 @@
+"""Protocols for the gap-hamming-distance problem."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.communication.model import Message, TwoPartyProtocol
+from repro.problems.ghd import GHDInstance, ghd_answer
+
+
+class TrivialGHDProtocol(TwoPartyProtocol):
+    """Alice sends her entire set; Bob computes Δ(A, B) and answers.
+
+    Communicates Θ(t·log t) bits — the baseline against which the Ω(t)
+    information-complexity lower bound (Lemma 4.1 / 4.2) is compared in E10.
+    """
+
+    name = "ghd-trivial"
+
+    def alice_round(
+        self,
+        alice_input: frozenset,
+        received: List[Message],
+        state: Dict[str, Any],
+    ) -> Tuple[Any, Optional[Any]]:
+        return sorted(alice_input), None
+
+    def bob_round(
+        self,
+        bob_input: frozenset,
+        received: List[Message],
+        state: Dict[str, Any],
+    ) -> Tuple[Any, Optional[Any]]:
+        alice_set = frozenset(received[0].payload)
+        t = state.get("t", 0)
+        distance = len(alice_set ^ bob_input)
+        threshold = t ** 0.5 if t else 0
+        if t and distance >= t / 2 + threshold:
+            answer = "Yes"
+        elif t and distance <= t / 2 - threshold:
+            answer = "No"
+        else:
+            # Inside the promise gap any answer is allowed; report the side
+            # the distance leans towards so deterministic tests are stable.
+            answer = "Yes" if t and distance >= t / 2 else "No"
+        return answer, answer
+
+    def setup(self, alice_input: Any, bob_input: Any) -> Dict[str, Any]:
+        # The universe size t is shared knowledge; infer the smallest
+        # consistent t so instances do not need to carry it separately.
+        maximum = max([-1] + list(alice_input) + list(bob_input))
+        return {"t": maximum + 1}
+
+
+class SizedGHDProtocol(TrivialGHDProtocol):
+    """Variant that takes (t, set) inputs so the promise threshold is exact."""
+
+    name = "ghd-trivial-sized"
+
+    def setup(self, alice_input: Any, bob_input: Any) -> Dict[str, Any]:
+        t_alice, _ = alice_input
+        return {"t": t_alice}
+
+    def alice_round(self, alice_input, received, state):
+        _, alice_set = alice_input
+        return sorted(alice_set), None
+
+    def bob_round(self, bob_input, received, state):
+        _, bob_set = bob_input
+        return super().bob_round(bob_set, received, state)
+
+
+def correct_ghd_answer(instance: GHDInstance, output: Any) -> bool:
+    """Judge a protocol output against the GHD promise (gap answers are free)."""
+    expected = ghd_answer(instance)
+    if expected == "*":
+        return output in ("Yes", "No")
+    return output == expected

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: the tight-tradeoff streaming algorithm.
+
+* :class:`StreamingSetCover` — Algorithm 1 of the paper: one pruning pass plus
+  α rounds of element sampling, giving an ``(α + ε)``-approximation in
+  ``2α + 1`` passes and ``Õ(m n^{1/α}/ε² + n/ε)`` space.
+* :func:`element_sample` — the Lemma 3.12 element-sampling primitive.
+* :class:`OptGuessingSetCover` — the parallel-guessing wrapper that removes
+  the assumption that ``õpt`` is known (Section 3.4, first paragraph).
+* :mod:`repro.core.tradeoff` — the paper's bound formulas (Theorems 1–5) as
+  plain functions used by the experiment harness.
+* :class:`StreamingMaxCoverage` — streaming (1-ε)-approximate k-cover used for
+  comparison in the maximum coverage experiments.
+"""
+
+from repro.core.element_sampling import element_sample, sampling_probability
+from repro.core.algorithm1 import StreamingSetCover, AlgorithmOneConfig
+from repro.core.guessing import OptGuessingSetCover
+from repro.core.maxcover_stream import StreamingMaxCoverage
+from repro.core.value_estimation import SetCoverValueEstimator, CountingBoundEstimator
+from repro.core.tradeoff import (
+    theorem1_space_lower_bound,
+    theorem2_space_upper_bound,
+    theorem2_pass_count,
+    theorem4_maxcover_space_lower_bound,
+    dsc_parameter_t,
+    har_peled_space_bound,
+    demaine_space_bound,
+    fit_power_law,
+)
+
+__all__ = [
+    "element_sample",
+    "sampling_probability",
+    "StreamingSetCover",
+    "AlgorithmOneConfig",
+    "OptGuessingSetCover",
+    "StreamingMaxCoverage",
+    "SetCoverValueEstimator",
+    "CountingBoundEstimator",
+    "theorem1_space_lower_bound",
+    "theorem2_space_upper_bound",
+    "theorem2_pass_count",
+    "theorem4_maxcover_space_lower_bound",
+    "dsc_parameter_t",
+    "har_peled_space_bound",
+    "demaine_space_bound",
+    "fit_power_law",
+]

@@ -1,0 +1,70 @@
+"""Element sampling (Lemma 3.12 of the paper).
+
+Lemma 3.12: let ``0 < ρ < 1`` and let S be m subsets of [n] with
+``opt(S) ≤ k``.  If ``U_smpl`` keeps each element independently with
+probability ``p ≥ 16 · k · log m / (ρ · n)``, then with probability
+``1 − 1/m²`` every collection of k sets covering ``U_smpl`` entirely also
+covers at least ``(1 − ρ) · n`` elements of [n].
+
+This module provides the sampling-rate formula and the sampler itself; the
+streaming algorithm applies it to the *currently uncovered* universe in each
+of its α iterations with ``ρ = n^{-1/α}``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterable, Set
+
+from repro.utils.rng import RandomSource, SeedLike, spawn_rng
+
+
+def sampling_probability(
+    universe_size: int,
+    num_sets: int,
+    cover_size_bound: int,
+    rho: float,
+    constant: float = 16.0,
+) -> float:
+    """The Lemma 3.12 sampling rate ``min(1, c · k · log m / (ρ · n))``.
+
+    Parameters
+    ----------
+    universe_size:
+        n, the size of the (sub)universe being sampled.
+    num_sets:
+        m, the number of sets in the stream (enters through the union bound).
+    cover_size_bound:
+        k, the assumed upper bound on the optimal cover size (``õpt``).
+    rho:
+        Target residual fraction: covers of the sample miss at most ρ·n
+        elements of the full universe.
+    constant:
+        The constant 16 from the lemma; exposed so the E3 ablation can sweep it.
+    """
+    if universe_size <= 0:
+        return 1.0
+    if not 0 < rho < 1:
+        raise ValueError(f"rho must lie in (0, 1), got {rho}")
+    if cover_size_bound <= 0:
+        raise ValueError(f"cover_size_bound must be positive, got {cover_size_bound}")
+    if num_sets < 2:
+        num_sets = 2  # log m must be positive for the bound to make sense
+    probability = constant * cover_size_bound * math.log(num_sets) / (rho * universe_size)
+    return min(1.0, probability)
+
+
+def element_sample(
+    elements: Iterable[int],
+    probability: float,
+    seed: SeedLike = None,
+) -> FrozenSet[int]:
+    """Keep each element independently with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must lie in [0, 1], got {probability}")
+    rng: RandomSource = spawn_rng(seed)
+    kept: Set[int] = set()
+    for element in elements:
+        if probability >= 1.0 or rng.bernoulli(probability):
+            kept.add(element)
+    return frozenset(kept)

@@ -1,0 +1,149 @@
+"""Parallel guessing of ``õpt`` (Section 3.4, first paragraph).
+
+Algorithm 1 assumes a (1+ε)-approximation ``õpt`` of the optimal cover size.
+The paper removes the assumption by running the algorithm "in parallel" for
+``O(log n / ε)`` geometric guesses ``õpt ∈ {1, (1+ε), (1+ε)², ...}`` and
+returning the smallest feasible cover among all runs.
+
+In the reproduction the parallel runs share the stream (each run makes its own
+passes, exactly as parallel copies would share a single physical pass), and
+space is accounted as the sum over guesses — matching the extra ``Õ(1/ε)``
+factor in Theorem 2's space bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.algorithm1 import AlgorithmOneConfig, StreamingSetCover
+from repro.setcover.verify import is_feasible_cover
+from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
+from repro.streaming.stream import SetStream
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+def geometric_guesses(universe_size: int, epsilon: float) -> List[int]:
+    """The O(log n / ε) geometric guesses for õpt in [1, n]."""
+    if universe_size < 1:
+        return [1]
+    guesses: List[int] = []
+    value = 1.0
+    while value <= universe_size:
+        guess = int(math.ceil(value))
+        if not guesses or guess != guesses[-1]:
+            guesses.append(guess)
+        value *= 1.0 + epsilon
+    if guesses[-1] < universe_size:
+        guesses.append(universe_size)
+    return guesses
+
+
+@dataclass
+class GuessOutcome:
+    """Result of one guessed-õpt run, kept for diagnostics."""
+
+    opt_guess: int
+    solution_size: int
+    feasible: bool
+    passes: int
+    peak_space: int
+
+
+class OptGuessingSetCover(StreamingAlgorithm):
+    """Runs Algorithm 1 for every geometric guess of õpt and keeps the best."""
+
+    name = "assadi-algorithm1-guessing"
+
+    def __init__(
+        self,
+        alpha: int,
+        epsilon: float = 0.5,
+        sampling_constant: float = 16.0,
+        subinstance_solver: str = "exact",
+        seed: SeedLike = None,
+        space_budget: Optional[int] = None,
+        guesses: Optional[List[int]] = None,
+    ) -> None:
+        super().__init__(space_budget=space_budget)
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self.sampling_constant = sampling_constant
+        self.subinstance_solver = subinstance_solver
+        self._rng = spawn_rng(seed)
+        self._explicit_guesses = guesses
+
+    def run(self, stream: SetStream) -> StreamingResult:
+        n = stream.universe_size
+        guesses = self._explicit_guesses or geometric_guesses(n, self.epsilon)
+        best_solution: Optional[List[int]] = None
+        best_metadata: dict = {}
+        outcomes: List[GuessOutcome] = []
+        total_passes = 0
+
+        for guess in guesses:
+            config = AlgorithmOneConfig(
+                alpha=self.alpha,
+                opt_guess=guess,
+                epsilon=self.epsilon,
+                sampling_constant=self.sampling_constant,
+                subinstance_solver=self.subinstance_solver,
+                ensure_feasible=True,
+            )
+            inner = StreamingSetCover(config, seed=self._rng.spawn())
+            # Each guess runs over its own view of the stream; physical passes
+            # are shared by parallel copies, so the pass count reported is the
+            # maximum over guesses, while space adds up.
+            inner_stream = SetStream(
+                stream.system,
+                order=stream.order,
+                permutation=stream.arrival_order,
+            )
+            result = inner.run(inner_stream)
+            feasible = is_feasible_cover(stream.system, result.solution)
+            outcomes.append(
+                GuessOutcome(
+                    opt_guess=guess,
+                    solution_size=result.solution_size,
+                    feasible=feasible,
+                    passes=result.passes,
+                    peak_space=result.space.peak_words,
+                )
+            )
+            total_passes = max(total_passes, result.passes)
+            self.space.charge("per_guess_peak", result.space.peak_words)
+            if feasible and (
+                best_solution is None or result.solution_size < len(best_solution)
+            ):
+                best_solution = result.solution
+                best_metadata = result.metadata
+
+        # Record the shared passes on the outer stream object so the engine's
+        # pass accounting reflects the parallel-run model.
+        for _ in range(total_passes):
+            iterator = stream.iterate_pass()
+            # Drain lazily-created iterator without touching items: parallel
+            # copies observed the same items; we only need the pass counter.
+            for _item in iterator:
+                break
+
+        if best_solution is None:
+            # No guess produced a feasible cover — the instance itself is
+            # uncoverable; surface the empty solution and let the caller's
+            # verification raise.
+            best_solution = []
+        metadata = {
+            "guesses": [o.opt_guess for o in outcomes],
+            "outcomes": [o.__dict__ for o in outcomes],
+            "winning_guess": next(
+                (
+                    o.opt_guess
+                    for o in outcomes
+                    if o.feasible and o.solution_size == len(best_solution)
+                ),
+                None,
+            ),
+            "inner_metadata": best_metadata,
+        }
+        return self._finalize(stream, best_solution, metadata=metadata)

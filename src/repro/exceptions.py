@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch library errors without masking programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InfeasibleInstanceError(ReproError):
+    """Raised when a set cover instance has no feasible cover."""
+
+
+class SpaceBudgetExceededError(ReproError):
+    """Raised when a streaming algorithm exceeds its declared space budget.
+
+    Mirrors Remark 3.9 in the paper: the algorithm may be terminated as soon
+    as it attempts to use more memory than its analysis allows.
+    """
+
+    def __init__(self, used: int, budget: int) -> None:
+        super().__init__(f"space budget exceeded: used {used} words, budget {budget}")
+        self.used = used
+        self.budget = budget
+
+
+class PassBudgetExceededError(ReproError):
+    """Raised when a streaming algorithm requests more passes than allowed."""
+
+    def __init__(self, used: int, budget: int) -> None:
+        super().__init__(f"pass budget exceeded: used {used} passes, budget {budget}")
+        self.used = used
+        self.budget = budget
+
+
+class ProtocolError(ReproError):
+    """Raised when a communication protocol is driven in an invalid way."""
+
+
+class DistributionError(ReproError):
+    """Raised when a hard-distribution sampler is given invalid parameters."""

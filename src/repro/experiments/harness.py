@@ -1,0 +1,68 @@
+"""Shared infrastructure for the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.utils.tables import Table
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: a table of rows plus summary findings.
+
+    Attributes
+    ----------
+    experiment_id:
+        E1..E12 identifier from DESIGN.md.
+    title:
+        Human-readable description of the reproduced claim.
+    table:
+        The rows the experiment reports (the analogue of a paper table).
+    findings:
+        Named scalar conclusions (fitted exponents, gaps, error rates) that
+        the benchmark assertions and EXPERIMENTS.md reference.
+    """
+
+    experiment_id: str
+    title: str
+    table: Table
+    findings: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Render the table and findings as printable text."""
+        lines = [f"[{self.experiment_id}] {self.title}", self.table.render()]
+        if self.findings:
+            lines.append("findings:")
+            for key in sorted(self.findings):
+                lines.append(f"  {key} = {self.findings[key]}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class SweepRunner:
+    """Runs a function over a grid of parameter settings and collects rows."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None) -> None:
+        self.table = Table(headers, title=title)
+
+    def run(
+        self,
+        settings: Iterable[Dict[str, Any]],
+        runner: Callable[[Dict[str, Any]], Sequence[Any]],
+    ) -> Table:
+        """Apply ``runner`` to each setting dict; each call returns one row."""
+        for setting in settings:
+            row = runner(setting)
+            self.table.add_row(*row)
+        return self.table
+
+
+def summarize_results(results: Iterable[ExperimentResult]) -> str:
+    """Concatenate rendered experiment results with separators."""
+    blocks = [result.render() for result in results]
+    separator = "\n" + "=" * 72 + "\n"
+    return separator.join(blocks)

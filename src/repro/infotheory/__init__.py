@@ -1,0 +1,63 @@
+"""Information theory toolkit.
+
+Exact Shannon entropy / mutual information on finite discrete joint
+distributions, plug-in estimators from samples, and the information-theory
+facts (Appendix A of the paper) as checkable numeric predicates.  These are
+the quantities the paper's lower-bound proofs manipulate; the reproduction
+computes them exactly at small scale to validate the identities the proofs
+rely on.
+"""
+
+from repro.infotheory.distributions import JointDistribution
+from repro.infotheory.entropy import (
+    entropy,
+    conditional_entropy,
+    mutual_information,
+    conditional_mutual_information,
+)
+from repro.infotheory.estimators import (
+    empirical_joint,
+    plugin_entropy,
+    plugin_mutual_information,
+)
+from repro.infotheory.facts import (
+    check_fact_entropy_bounds,
+    check_fact_mi_nonnegative,
+    check_fact_conditioning_reduces_entropy,
+    check_fact_chain_rule,
+    check_fact_a2,
+    check_fact_a3,
+    check_fact_a4,
+)
+from repro.infotheory.information_cost import (
+    transcript_information_cost,
+    internal_information_cost,
+)
+from repro.infotheory.odometer import (
+    InformationOdometer,
+    OdometerReading,
+    truncate_at_budget,
+)
+
+__all__ = [
+    "JointDistribution",
+    "entropy",
+    "conditional_entropy",
+    "mutual_information",
+    "conditional_mutual_information",
+    "empirical_joint",
+    "plugin_entropy",
+    "plugin_mutual_information",
+    "check_fact_entropy_bounds",
+    "check_fact_mi_nonnegative",
+    "check_fact_conditioning_reduces_entropy",
+    "check_fact_chain_rule",
+    "check_fact_a2",
+    "check_fact_a3",
+    "check_fact_a4",
+    "transcript_information_cost",
+    "internal_information_cost",
+    "InformationOdometer",
+    "OdometerReading",
+    "truncate_at_budget",
+]

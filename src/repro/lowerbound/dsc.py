@@ -1,0 +1,216 @@
+"""The hard set cover distribution ``D_SC`` (Section 3.1) and ``D_SC^rnd``.
+
+For parameters (n, m, α) and ``t ≈ (n / log m)^{1/α}``:
+
+* for every ``i ∈ [m]`` draw a disjointness pair ``(A_i, B_i) ~ D_Disj^N``
+  (i.e. with a single planted intersection) and an independent random
+  mapping-extension ``f_i``; set ``S_i := [n] \\ f_i(A_i)`` and
+  ``T_i := [n] \\ f_i(B_i)``;
+* flip ``θ``; when ``θ = 1`` pick ``i* ∈ [m]`` and resample
+  ``(A_{i*}, B_{i*}) ~ D_Disj^Y`` (disjoint), so ``S_{i*} ∪ T_{i*} = [n]``
+  and the optimal cover has size 2; when ``θ = 0`` every pair misses the
+  block of its planted intersection element, and Lemma 3.2 shows
+  ``opt > 2α`` w.h.p.
+* Alice receives ``S = {S_i}`` and Bob receives ``T = {T_i}``.
+
+``D_SC^rnd`` (Section 3.3) draws the same collections and then assigns each of
+the 2m sets to Alice or Bob independently with probability 1/2 — the
+random-partition form used to extend the lower bound to random arrival
+streams.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.communication.protocols.setcover_protocol import SetCoverInput
+from repro.exceptions import DistributionError
+from repro.lowerbound.mapping_extension import MappingExtension, random_mapping_extension
+from repro.problems.disjointness import (
+    DisjointnessInstance,
+    sample_ddisj_no,
+    sample_ddisj_yes,
+)
+from repro.setcover.instance import SetSystem
+from repro.utils.bitset import universe_mask
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+@dataclass(frozen=True)
+class DSCParameters:
+    """Parameters of the D_SC sampler.
+
+    ``t`` defaults to the unscaled ``(n / ln m)^{1/α}`` (the paper's 2^{-15}
+    constant only matters asymptotically); it is clamped to ``[1, n]``.
+    """
+
+    universe_size: int
+    num_pairs: int  # m in the paper; the instance has 2m sets
+    alpha: int
+    t: Optional[int] = None
+
+    def resolved_t(self) -> int:
+        """The gadget size t actually used by the sampler."""
+        if self.t is not None:
+            if not 1 <= self.t <= self.universe_size:
+                raise DistributionError(
+                    f"t must lie in [1, {self.universe_size}], got {self.t}"
+                )
+            return self.t
+        log_m = math.log(max(self.num_pairs, 2))
+        value = (self.universe_size / log_m) ** (1.0 / self.alpha)
+        return max(1, min(self.universe_size, int(value)))
+
+    def __post_init__(self) -> None:
+        if self.universe_size < 2:
+            raise DistributionError("universe_size must be at least 2")
+        if self.num_pairs < 1:
+            raise DistributionError("num_pairs must be at least 1")
+        if self.alpha < 1:
+            raise DistributionError("alpha must be at least 1")
+
+
+@dataclass
+class DSCInstance:
+    """One sample from D_SC with full provenance for verification.
+
+    ``alice_sets[i]`` is the mask of ``S_i`` and ``bob_sets[i]`` of ``T_i``.
+    Global set indices: ``S_i`` is index ``i`` and ``T_i`` is index ``m + i``.
+    """
+
+    parameters: DSCParameters
+    theta: int
+    special_index: Optional[int]
+    disjointness: List[DisjointnessInstance]
+    mappings: List[MappingExtension]
+    alice_sets: List[int] = field(default_factory=list)
+    bob_sets: List[int] = field(default_factory=list)
+
+    @property
+    def universe_size(self) -> int:
+        """Universe size n."""
+        return self.parameters.universe_size
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of (S_i, T_i) pairs m."""
+        return self.parameters.num_pairs
+
+    def set_system(self) -> SetSystem:
+        """All 2m sets as one system: S_0..S_{m-1}, T_0..T_{m-1}."""
+        names = [f"S{i}" for i in range(self.num_pairs)] + [
+            f"T{i}" for i in range(self.num_pairs)
+        ]
+        return SetSystem.from_masks(
+            self.universe_size, self.alice_sets + self.bob_sets, names
+        )
+
+    def communication_inputs(self) -> Tuple[SetCoverInput, SetCoverInput]:
+        """The paper's fixed partition: Alice gets all S_i, Bob all T_i."""
+        alice = SetCoverInput(
+            self.universe_size,
+            {i: mask for i, mask in enumerate(self.alice_sets)},
+        )
+        bob = SetCoverInput(
+            self.universe_size,
+            {self.num_pairs + i: mask for i, mask in enumerate(self.bob_sets)},
+        )
+        return alice, bob
+
+    def pair_union_mask(self, index: int) -> int:
+        """S_i ∪ T_i as a mask (equals [n] minus f_i(A_i ∩ B_i))."""
+        return self.alice_sets[index] | self.bob_sets[index]
+
+    @property
+    def planted_opt(self) -> Optional[int]:
+        """2 when θ = 1 (the special pair covers [n]); unknown otherwise."""
+        return 2 if self.theta == 1 else None
+
+
+def sample_dsc(
+    parameters: DSCParameters,
+    seed: SeedLike = None,
+    theta: Optional[int] = None,
+) -> DSCInstance:
+    """Sample an instance from D_SC (optionally forcing the hidden bit θ)."""
+    rng = spawn_rng(seed)
+    n = parameters.universe_size
+    m = parameters.num_pairs
+    t = parameters.resolved_t()
+    full = universe_mask(n)
+
+    disjointness: List[DisjointnessInstance] = []
+    mappings: List[MappingExtension] = []
+    alice_sets: List[int] = []
+    bob_sets: List[int] = []
+    for _ in range(m):
+        pair = sample_ddisj_no(t, seed=rng.spawn())
+        mapping = random_mapping_extension(n, t, seed=rng.spawn())
+        disjointness.append(pair)
+        mappings.append(mapping)
+        alice_sets.append(full & ~mapping.extend_mask(pair.alice))
+        bob_sets.append(full & ~mapping.extend_mask(pair.bob))
+
+    if theta is None:
+        theta = rng.randint(0, 1)
+    if theta not in (0, 1):
+        raise DistributionError(f"theta must be 0 or 1, got {theta}")
+    special_index: Optional[int] = None
+    if theta == 1:
+        special_index = rng.randrange(m)
+        pair = sample_ddisj_yes(t, seed=rng.spawn())
+        disjointness[special_index] = pair
+        mapping = mappings[special_index]
+        alice_sets[special_index] = full & ~mapping.extend_mask(pair.alice)
+        bob_sets[special_index] = full & ~mapping.extend_mask(pair.bob)
+
+    return DSCInstance(
+        parameters=parameters,
+        theta=theta,
+        special_index=special_index,
+        disjointness=disjointness,
+        mappings=mappings,
+        alice_sets=alice_sets,
+        bob_sets=bob_sets,
+    )
+
+
+def sample_dsc_random_partition(
+    parameters: DSCParameters,
+    seed: SeedLike = None,
+    theta: Optional[int] = None,
+) -> Tuple[DSCInstance, SetCoverInput, SetCoverInput, Dict[int, str]]:
+    """Sample from D_SC^rnd: a D_SC instance with a random 1/2-1/2 set partition.
+
+    Returns the underlying instance, the two players' inputs, and the
+    assignment map from global set index to ``"alice"`` / ``"bob"``.
+    """
+    rng = spawn_rng(seed)
+    instance = sample_dsc(parameters, seed=rng.spawn(), theta=theta)
+    assignment: Dict[int, str] = {}
+    alice_sets: Dict[int, int] = {}
+    bob_sets: Dict[int, int] = {}
+    for global_index in range(2 * instance.num_pairs):
+        if global_index < instance.num_pairs:
+            mask = instance.alice_sets[global_index]
+        else:
+            mask = instance.bob_sets[global_index - instance.num_pairs]
+        owner = "alice" if rng.bernoulli(0.5) else "bob"
+        assignment[global_index] = owner
+        if owner == "alice":
+            alice_sets[global_index] = mask
+        else:
+            bob_sets[global_index] = mask
+    return (
+        instance,
+        SetCoverInput(instance.universe_size, alice_sets),
+        SetCoverInput(instance.universe_size, bob_sets),
+        assignment,
+    )
+
+
+def dsc_to_set_system(instance: DSCInstance) -> SetSystem:
+    """Convenience alias for :meth:`DSCInstance.set_system`."""
+    return instance.set_system()

@@ -1,0 +1,107 @@
+"""Mapping-extensions (Definition 3 of the paper).
+
+A mapping-extension of ``[t]`` to ``[n]`` is a function ``f : [t] → 2^[n]``
+assigning each ``i ∈ [t]`` a block of ``n/t`` *unique* elements of ``[n]``
+(so the blocks partition a size-``t·(n/t)`` subset of ``[n]``; the paper takes
+``t | n`` so the blocks partition all of ``[n]``).  For ``A ⊆ [t]``,
+``f(A) := ∪_{i∈A} f(i)``.
+
+The hard distribution ``D_SC`` uses a uniformly random mapping-extension per
+embedded disjointness instance to blow the ``[t]`` gadget up to the ``[n]``
+universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.exceptions import DistributionError
+from repro.utils.bitset import bitset_from_iterable
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+@dataclass(frozen=True)
+class MappingExtension:
+    """An explicit mapping-extension ``f : [t] → 2^[n]`` with disjoint blocks."""
+
+    universe_size: int
+    blocks: Tuple[FrozenSet[int], ...]
+
+    def __post_init__(self) -> None:
+        seen: set = set()
+        for index, block in enumerate(self.blocks):
+            if not block:
+                raise DistributionError(f"block {index} of a mapping-extension is empty")
+            overlap = seen & block
+            if overlap:
+                raise DistributionError(
+                    f"blocks are not disjoint: element(s) {sorted(overlap)[:5]} repeat"
+                )
+            for element in block:
+                if not 0 <= element < self.universe_size:
+                    raise DistributionError(
+                        f"element {element} outside the universe [0, {self.universe_size})"
+                    )
+            seen |= block
+
+    @property
+    def t(self) -> int:
+        """Domain size t of the mapping."""
+        return len(self.blocks)
+
+    @property
+    def block_size(self) -> int:
+        """Number of elements per block (n/t in the paper)."""
+        return len(self.blocks[0]) if self.blocks else 0
+
+    def image(self, i: int) -> FrozenSet[int]:
+        """The block f(i)."""
+        return self.blocks[i]
+
+    def extend(self, subset: Iterable[int]) -> FrozenSet[int]:
+        """f(A) = union of the blocks of the indices in A."""
+        result: set = set()
+        for i in subset:
+            result |= self.blocks[i]
+        return frozenset(result)
+
+    def extend_mask(self, subset: Iterable[int]) -> int:
+        """f(A) as a bitset mask over the universe."""
+        return bitset_from_iterable(self.extend(subset))
+
+    def preimage_table(self) -> Dict[int, int]:
+        """Map each covered universe element back to its block index."""
+        table: Dict[int, int] = {}
+        for block_index, block in enumerate(self.blocks):
+            for element in block:
+                table[element] = block_index
+        return table
+
+
+def random_mapping_extension(
+    universe_size: int, t: int, seed: SeedLike = None
+) -> MappingExtension:
+    """Sample a uniformly random mapping-extension of [t] to [n].
+
+    Requires ``t ≤ n``.  When ``t`` does not divide ``n`` the first
+    ``n mod t`` blocks receive one extra element, so the blocks always
+    partition the whole universe (the paper's asymptotic setting has t | n).
+    """
+    if t < 1:
+        raise DistributionError(f"t must be >= 1, got {t}")
+    if t > universe_size:
+        raise DistributionError(
+            f"t={t} cannot exceed the universe size {universe_size}"
+        )
+    rng = spawn_rng(seed)
+    permutation = rng.permutation(universe_size)
+    base_size = universe_size // t
+    remainder = universe_size % t
+    blocks: List[FrozenSet[int]] = []
+    cursor = 0
+    for index in range(t):
+        size = base_size + (1 if index < remainder else 0)
+        blocks.append(frozenset(permutation[cursor : cursor + size]))
+        cursor += size
+    return MappingExtension(universe_size=universe_size, blocks=tuple(blocks))

@@ -1,0 +1,40 @@
+"""Communication problem gadgets used by the lower-bound constructions.
+
+* Set disjointness ``Disj_t`` with the hard distribution ``D_Disj`` of
+  Section 2.2 (and its Yes / No conditionals).
+* Gap-Hamming-Distance ``GHD_t`` with the uniform distribution ``U``, the
+  size-conditioned ``U(a, b)``, and the ``D_GHD^{Y/N}`` conditionals of
+  Section 4.1.
+"""
+
+from repro.problems.disjointness import (
+    DisjointnessInstance,
+    disjointness_answer,
+    sample_ddisj,
+    sample_ddisj_yes,
+    sample_ddisj_no,
+)
+from repro.problems.ghd import (
+    GHDInstance,
+    hamming_distance,
+    ghd_answer,
+    sample_uniform_ghd,
+    sample_dghd,
+    sample_dghd_yes,
+    sample_dghd_no,
+)
+
+__all__ = [
+    "DisjointnessInstance",
+    "disjointness_answer",
+    "sample_ddisj",
+    "sample_ddisj_yes",
+    "sample_ddisj_no",
+    "GHDInstance",
+    "hamming_distance",
+    "ghd_answer",
+    "sample_uniform_ghd",
+    "sample_dghd",
+    "sample_dghd_yes",
+    "sample_dghd_no",
+]

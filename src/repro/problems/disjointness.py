@@ -1,0 +1,162 @@
+"""The set disjointness communication problem and its hard distribution.
+
+``Disj_t``: Alice holds ``A ⊆ [t]``, Bob holds ``B ⊆ [t]``; the answer is
+Yes iff ``A ∩ B = ∅``.
+
+The hard distribution ``D_Disj`` of Section 2.2:
+
+* start with ``A = B = [t]``;
+* for every element independently, with probability 1/3 each: drop it from
+  both sets, drop it from A only, or drop it from B only — after this step the
+  sets are always disjoint;
+* flip ``Z ∈ {0, 1}``; when ``Z = 1`` pick a uniformly random ``e*`` and put
+  it in both sets (a single planted intersection).
+
+``D_Disj^Y = (D_Disj | Z = 0)`` are the Yes (disjoint) instances and
+``D_Disj^N = (D_Disj | Z = 1)`` the No instances.  Note the slightly confusing
+paper convention: the set cover distribution ``D_SC`` embeds *No* instances
+(single intersection) for the non-special indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+@dataclass(frozen=True)
+class DisjointnessInstance:
+    """One Disj_t input pair plus provenance of the planted structure.
+
+    Attributes
+    ----------
+    t:
+        Universe size of the gadget.
+    alice / bob:
+        The two input sets A and B.
+    z:
+        The hidden bit of D_Disj: 0 means the instance was left disjoint
+        (a Yes instance), 1 means an intersection element was planted (No).
+        ``None`` for instances not drawn from D_Disj.
+    planted_element:
+        The planted common element when z == 1.
+    """
+
+    t: int
+    alice: FrozenSet[int]
+    bob: FrozenSet[int]
+    z: Optional[int] = None
+    planted_element: Optional[int] = None
+
+    @property
+    def intersection(self) -> FrozenSet[int]:
+        """The intersection A ∩ B."""
+        return self.alice & self.bob
+
+    @property
+    def is_disjoint(self) -> bool:
+        """True iff A and B are disjoint (the Yes answer)."""
+        return not (self.alice & self.bob)
+
+
+def disjointness_answer(instance: DisjointnessInstance) -> str:
+    """The Disj answer for an instance: "Yes" iff the sets are disjoint."""
+    return "Yes" if instance.is_disjoint else "No"
+
+
+def _sample_base(t: int, rng) -> tuple:
+    """The element-wise 1/3-1/3-1/3 dropping step (always ends disjoint)."""
+    alice = set()
+    bob = set()
+    for element in range(t):
+        roll = rng.randrange(3)
+        if roll == 0:
+            continue  # dropped from both
+        if roll == 1:
+            bob.add(element)  # dropped from A only
+        else:
+            alice.add(element)  # dropped from B only
+    return alice, bob
+
+
+def sample_ddisj(t: int, seed: SeedLike = None) -> DisjointnessInstance:
+    """Sample (A, B, Z) from the full distribution D_Disj."""
+    if t < 1:
+        raise ValueError(f"t must be >= 1, got {t}")
+    rng = spawn_rng(seed)
+    alice, bob = _sample_base(t, rng)
+    z = rng.randint(0, 1)
+    planted = None
+    if z == 1:
+        planted = rng.randrange(t)
+        alice.add(planted)
+        bob.add(planted)
+    return DisjointnessInstance(
+        t=t,
+        alice=frozenset(alice),
+        bob=frozenset(bob),
+        z=z,
+        planted_element=planted,
+    )
+
+
+def sample_ddisj_yes(t: int, seed: SeedLike = None) -> DisjointnessInstance:
+    """Sample from D_Disj^Y = (D_Disj | Z = 0): always disjoint."""
+    if t < 1:
+        raise ValueError(f"t must be >= 1, got {t}")
+    rng = spawn_rng(seed)
+    alice, bob = _sample_base(t, rng)
+    return DisjointnessInstance(
+        t=t, alice=frozenset(alice), bob=frozenset(bob), z=0, planted_element=None
+    )
+
+
+def sample_ddisj_no(t: int, seed: SeedLike = None) -> DisjointnessInstance:
+    """Sample from D_Disj^N = (D_Disj | Z = 1): exactly one planted intersection."""
+    if t < 1:
+        raise ValueError(f"t must be >= 1, got {t}")
+    rng = spawn_rng(seed)
+    alice, bob = _sample_base(t, rng)
+    planted = rng.randrange(t)
+    alice.add(planted)
+    bob.add(planted)
+    return DisjointnessInstance(
+        t=t,
+        alice=frozenset(alice),
+        bob=frozenset(bob),
+        z=1,
+        planted_element=planted,
+    )
+
+
+def enumerate_ddisj_support(t: int):
+    """Yield ``(A, B, Z, probability)`` for every outcome of D_Disj.
+
+    Exponential in t; used only for exact information-cost computations at
+    tiny t in tests and the E12 benchmark.
+    """
+    if t < 1:
+        raise ValueError(f"t must be >= 1, got {t}")
+    third = 1.0 / 3.0
+
+    def recurse(element: int, alice: frozenset, bob: frozenset, probability: float):
+        if element == t:
+            yield alice, bob, probability
+            return
+        yield from recurse(element + 1, alice, bob, probability * third)
+        yield from recurse(element + 1, alice, bob | {element}, probability * third)
+        yield from recurse(element + 1, alice | {element}, bob, probability * third)
+
+    for alice, bob, probability in recurse(0, frozenset(), frozenset(), 1.0):
+        # Z = 0 branch: keep as is.
+        yield frozenset(alice), frozenset(bob), 0, probability * 0.5
+        # Z = 1 branch: plant each e* with probability 1/t.
+        for planted in range(t):
+            yield (
+                frozenset(alice | {planted}),
+                frozenset(bob | {planted}),
+                1,
+                probability * 0.5 / t,
+            )

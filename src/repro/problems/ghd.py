@@ -1,0 +1,147 @@
+"""The gap-hamming-distance (GHD) problem and the distributions of Section 4.1.
+
+``GHD_t``: Alice holds ``A ⊆ [t]``, Bob holds ``B ⊆ [t]``; the answer is
+Yes when the symmetric-difference size Δ(A, B) is at least ``t/2 + √t``, No
+when it is at most ``t/2 − √t``, and unconstrained in between.
+
+Distributions:
+
+* ``U`` — A and B independent uniform subsets of [t].
+* ``U(a, b)`` — U conditioned on |A| = a, |B| = b.
+* ``D_GHD^Y`` / ``D_GHD^N`` — U(a, b) conditioned on the Yes / No gap event.
+* ``D_GHD`` — the even mixture of the two.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.exceptions import DistributionError
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+@dataclass(frozen=True)
+class GHDInstance:
+    """One GHD_t input pair with its gap label when drawn from D_GHD."""
+
+    t: int
+    alice: FrozenSet[int]
+    bob: FrozenSet[int]
+    label: Optional[str] = None  # "Yes", "No", or None for unconditioned samples
+
+    @property
+    def distance(self) -> int:
+        """Hamming distance Δ(A, B) = |A Δ B|."""
+        return len(self.alice ^ self.bob)
+
+
+def hamming_distance(a: FrozenSet[int], b: FrozenSet[int]) -> int:
+    """Size of the symmetric difference of two sets."""
+    return len(a ^ b)
+
+
+def ghd_answer(instance: GHDInstance) -> str:
+    """The GHD answer: "Yes", "No", or "*" inside the promise gap."""
+    threshold = math.sqrt(instance.t)
+    distance = instance.distance
+    if distance >= instance.t / 2 + threshold:
+        return "Yes"
+    if distance <= instance.t / 2 - threshold:
+        return "No"
+    return "*"
+
+
+def sample_uniform_ghd(t: int, seed: SeedLike = None) -> GHDInstance:
+    """Sample (A, B) from the uniform distribution U on pairs of subsets."""
+    if t < 1:
+        raise ValueError(f"t must be >= 1, got {t}")
+    rng = spawn_rng(seed)
+    alice = frozenset(e for e in range(t) if rng.bernoulli(0.5))
+    bob = frozenset(e for e in range(t) if rng.bernoulli(0.5))
+    return GHDInstance(t=t, alice=alice, bob=bob)
+
+
+def default_set_sizes(t: int) -> Tuple[int, int]:
+    """The (a, b) = (t/2, t/2) choice used by the reproduction for U(a, b).
+
+    The paper leaves a, b unspecified (they exist by an averaging argument in
+    Claim B.1); half-size sets are the typical values under U and keep both
+    gap events non-negligible.
+    """
+    half = max(1, t // 2)
+    return half, half
+
+
+def _sample_fixed_sizes(t: int, a: int, b: int, rng) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+    alice = frozenset(rng.sample(range(t), a))
+    bob = frozenset(rng.sample(range(t), b))
+    return alice, bob
+
+
+def sample_dghd(
+    t: int,
+    a: Optional[int] = None,
+    b: Optional[int] = None,
+    seed: SeedLike = None,
+    max_attempts: int = 20000,
+) -> GHDInstance:
+    """Sample from D_GHD = ½·D_GHD^Y + ½·D_GHD^N."""
+    rng = spawn_rng(seed)
+    if rng.bernoulli(0.5):
+        return sample_dghd_yes(t, a, b, seed=rng.spawn(), max_attempts=max_attempts)
+    return sample_dghd_no(t, a, b, seed=rng.spawn(), max_attempts=max_attempts)
+
+
+def sample_dghd_yes(
+    t: int,
+    a: Optional[int] = None,
+    b: Optional[int] = None,
+    seed: SeedLike = None,
+    max_attempts: int = 20000,
+) -> GHDInstance:
+    """Sample from D_GHD^Y: fixed sizes, Δ(A, B) ≥ t/2 + √t (rejection sampling)."""
+    return _sample_conditioned(t, a, b, want_yes=True, seed=seed, max_attempts=max_attempts)
+
+
+def sample_dghd_no(
+    t: int,
+    a: Optional[int] = None,
+    b: Optional[int] = None,
+    seed: SeedLike = None,
+    max_attempts: int = 20000,
+) -> GHDInstance:
+    """Sample from D_GHD^N: fixed sizes, Δ(A, B) ≤ t/2 − √t (rejection sampling)."""
+    return _sample_conditioned(t, a, b, want_yes=False, seed=seed, max_attempts=max_attempts)
+
+
+def _sample_conditioned(
+    t: int,
+    a: Optional[int],
+    b: Optional[int],
+    want_yes: bool,
+    seed: SeedLike,
+    max_attempts: int,
+) -> GHDInstance:
+    if t < 1:
+        raise ValueError(f"t must be >= 1, got {t}")
+    if a is None or b is None:
+        a_default, b_default = default_set_sizes(t)
+        a = a if a is not None else a_default
+        b = b if b is not None else b_default
+    if not 0 <= a <= t or not 0 <= b <= t:
+        raise DistributionError(f"set sizes must lie in [0, {t}], got a={a}, b={b}")
+    rng = spawn_rng(seed)
+    threshold = math.sqrt(t)
+    for _ in range(max_attempts):
+        alice, bob = _sample_fixed_sizes(t, a, b, rng)
+        distance = len(alice ^ bob)
+        if want_yes and distance >= t / 2 + threshold:
+            return GHDInstance(t=t, alice=alice, bob=bob, label="Yes")
+        if not want_yes and distance <= t / 2 - threshold:
+            return GHDInstance(t=t, alice=alice, bob=bob, label="No")
+    raise DistributionError(
+        f"failed to sample a {'Yes' if want_yes else 'No'} GHD instance with "
+        f"t={t}, a={a}, b={b} after {max_attempts} attempts"
+    )

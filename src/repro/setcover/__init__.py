@@ -1,0 +1,39 @@
+"""Offline set cover / maximum coverage substrate.
+
+This package provides the classical (non-streaming) machinery the paper builds
+on: the instance representation, the greedy ``ln n``-approximation, an exact
+branch-and-bound solver used as ground truth in tests and experiments, and the
+offline maximum coverage solvers.
+"""
+
+from repro.setcover.instance import SetSystem, SetCoverInstance
+from repro.setcover.greedy import greedy_set_cover, greedy_cover_trace
+from repro.setcover.exact import exact_set_cover, exact_cover_value, brute_force_set_cover
+from repro.setcover.maxcover import (
+    greedy_max_coverage,
+    exact_max_coverage,
+    coverage_of,
+)
+from repro.setcover.fractional import fractional_greedy_lower_bound, lp_relaxation_value
+from repro.setcover.preprocess import PreprocessResult, preprocess
+from repro.setcover.verify import is_feasible_cover, verify_cover, uncovered_elements
+
+__all__ = [
+    "SetSystem",
+    "SetCoverInstance",
+    "greedy_set_cover",
+    "greedy_cover_trace",
+    "exact_set_cover",
+    "exact_cover_value",
+    "brute_force_set_cover",
+    "greedy_max_coverage",
+    "exact_max_coverage",
+    "coverage_of",
+    "fractional_greedy_lower_bound",
+    "lp_relaxation_value",
+    "preprocess",
+    "PreprocessResult",
+    "is_feasible_cover",
+    "verify_cover",
+    "uncovered_elements",
+]

@@ -1,0 +1,280 @@
+"""Set system / set cover instance representation.
+
+A :class:`SetSystem` is a collection of ``m`` subsets of a universe
+``{0, ..., n-1}``.  Internally each set is stored as a bitset (Python integer)
+which makes unions and uncovered-element counts cheap; the public API accepts
+and returns ordinary iterables and frozensets so callers never need to touch
+the bitset representation.
+
+This is the shared substrate for the offline solvers, the streaming
+algorithms, the workload generators, and the lower-bound distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
+
+from repro.exceptions import InfeasibleInstanceError
+from repro.utils.bitset import (
+    bitset_from_iterable,
+    bitset_size,
+    bitset_to_set,
+    bitset_union,
+    universe_mask,
+)
+
+
+class SetSystem:
+    """An indexed collection of subsets of the universe ``[n]``.
+
+    Parameters
+    ----------
+    universe_size:
+        Number of elements in the universe; elements are ``0..n-1``.
+    sets:
+        Iterable of element iterables, one per set, in stream order.
+    names:
+        Optional human-readable names per set (defaults to ``S0, S1, ...``).
+    """
+
+    def __init__(
+        self,
+        universe_size: int,
+        sets: Iterable[Iterable[int]],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if universe_size < 0:
+            raise ValueError(f"universe size must be non-negative, got {universe_size}")
+        self._n = universe_size
+        self._universe_mask = universe_mask(universe_size)
+        self._masks: List[int] = []
+        for index, elements in enumerate(sets):
+            mask = elements if isinstance(elements, int) else bitset_from_iterable(elements)
+            if mask & ~self._universe_mask:
+                raise ValueError(
+                    f"set {index} contains elements outside the universe [0, {universe_size})"
+                )
+            self._masks.append(mask)
+        if names is not None:
+            if len(names) != len(self._masks):
+                raise ValueError("names must have one entry per set")
+            self._names = list(names)
+        else:
+            self._names = [f"S{i}" for i in range(len(self._masks))]
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_masks(
+        cls,
+        universe_size: int,
+        masks: Sequence[int],
+        names: Optional[Sequence[str]] = None,
+    ) -> "SetSystem":
+        """Build a system directly from bitset masks (no per-element copying)."""
+        system = cls(universe_size, [])
+        full = universe_mask(universe_size)
+        for index, mask in enumerate(masks):
+            if mask & ~full:
+                raise ValueError(
+                    f"mask {index} contains elements outside the universe [0, {universe_size})"
+                )
+            system._masks.append(mask)
+        if names is not None:
+            if len(names) != len(masks):
+                raise ValueError("names must have one entry per set")
+            system._names = list(names)
+        else:
+            system._names = [f"S{i}" for i in range(len(masks))]
+        return system
+
+    # -- basic accessors ------------------------------------------------
+    @property
+    def universe_size(self) -> int:
+        """Size n of the universe."""
+        return self._n
+
+    @property
+    def num_sets(self) -> int:
+        """Number m of sets in the system."""
+        return len(self._masks)
+
+    @property
+    def names(self) -> List[str]:
+        """Per-set human readable names (copy)."""
+        return list(self._names)
+
+    def mask(self, index: int) -> int:
+        """Return the bitset mask of the set at ``index``."""
+        return self._masks[index]
+
+    def masks(self) -> List[int]:
+        """Return all masks in stream order (copy)."""
+        return list(self._masks)
+
+    def elements(self, index: int) -> FrozenSet[int]:
+        """Return the set at ``index`` as a frozenset of element indices."""
+        return frozenset(bitset_to_set(self._masks[index]))
+
+    def set_size(self, index: int) -> int:
+        """Return the cardinality of the set at ``index``."""
+        return bitset_size(self._masks[index])
+
+    def name(self, index: int) -> str:
+        """Return the name of the set at ``index``."""
+        return self._names[index]
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def __iter__(self) -> Iterator[FrozenSet[int]]:
+        for index in range(len(self._masks)):
+            yield self.elements(index)
+
+    def __getitem__(self, index: int) -> FrozenSet[int]:
+        return self.elements(index)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SetSystem):
+            return NotImplemented
+        return self._n == other._n and self._masks == other._masks
+
+    def __hash__(self) -> int:
+        return hash((self._n, tuple(self._masks)))
+
+    def __repr__(self) -> str:
+        return f"SetSystem(n={self._n}, m={self.num_sets})"
+
+    # -- coverage queries -----------------------------------------------
+    def coverage_mask(self, indices: Iterable[int]) -> int:
+        """Return the bitset covered by the union of the sets at ``indices``."""
+        return bitset_union(*(self._masks[i] for i in indices)) if indices else 0
+
+    def coverage(self, indices: Iterable[int]) -> int:
+        """Return the number of universe elements covered by ``indices``."""
+        index_list = list(indices)
+        if not index_list:
+            return 0
+        return bitset_size(self.coverage_mask(index_list))
+
+    def covers_universe(self, indices: Iterable[int]) -> bool:
+        """Return True iff the sets at ``indices`` cover the whole universe."""
+        index_list = list(indices)
+        if not index_list:
+            return self._n == 0
+        return self.coverage_mask(index_list) == self._universe_mask
+
+    def uncovered_mask(self, indices: Iterable[int]) -> int:
+        """Return the bitset of elements NOT covered by ``indices``."""
+        index_list = list(indices)
+        covered = self.coverage_mask(index_list) if index_list else 0
+        return self._universe_mask & ~covered
+
+    def element_frequencies(self) -> List[int]:
+        """Return, for each element, the number of sets containing it."""
+        frequencies = [0] * self._n
+        for mask in self._masks:
+            for element in bitset_to_set(mask):
+                frequencies[element] += 1
+        return frequencies
+
+    def is_coverable(self) -> bool:
+        """Return True iff the union of all sets is the whole universe."""
+        return self.covers_universe(range(self.num_sets))
+
+    # -- transformations -------------------------------------------------
+    def restrict_to_elements(self, elements: Iterable[int]) -> "SetSystem":
+        """Project every set onto the given element subset (same universe).
+
+        Used by the element-sampling step of Algorithm 1: the projected system
+        keeps the original element indices so covers translate back directly.
+        """
+        keep_mask = bitset_from_iterable(elements)
+        return SetSystem.from_masks(
+            self._n, [mask & keep_mask for mask in self._masks], self._names
+        )
+
+    def subsystem(self, indices: Sequence[int]) -> "SetSystem":
+        """Return a new system containing only the sets at ``indices``."""
+        return SetSystem.from_masks(
+            self._n,
+            [self._masks[i] for i in indices],
+            [self._names[i] for i in indices],
+        )
+
+    def permuted(self, order: Sequence[int]) -> "SetSystem":
+        """Return a new system with sets re-ordered according to ``order``."""
+        if sorted(order) != list(range(self.num_sets)):
+            raise ValueError("order must be a permutation of the set indices")
+        return self.subsystem(list(order))
+
+    def incidence_count(self) -> int:
+        """Total number of (set, element) incidences — the input size ``O(mn)``."""
+        return sum(bitset_size(mask) for mask in self._masks)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise into plain Python data (for logging / fixtures)."""
+        return {
+            "universe_size": self._n,
+            "sets": [sorted(self.elements(i)) for i in range(self.num_sets)],
+            "names": list(self._names),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SetSystem":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            int(payload["universe_size"]),
+            payload["sets"],  # type: ignore[arg-type]
+            payload.get("names"),  # type: ignore[arg-type]
+        )
+
+
+class SetCoverInstance:
+    """A set cover instance: a :class:`SetSystem` plus solution bookkeeping.
+
+    Keeps an optional record of the planted optimal value (for synthetic
+    workloads where the generator knows ``opt``), which the experiment harness
+    uses to report approximation ratios without invoking the exact solver on
+    large instances.
+    """
+
+    def __init__(
+        self,
+        system: SetSystem,
+        planted_opt: Optional[int] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if planted_opt is not None and planted_opt <= 0:
+            raise ValueError("planted_opt must be a positive integer when provided")
+        self.system = system
+        self.planted_opt = planted_opt
+        self.metadata: Dict[str, object] = dict(metadata or {})
+
+    @property
+    def universe_size(self) -> int:
+        """Universe size n."""
+        return self.system.universe_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets m."""
+        return self.system.num_sets
+
+    def require_coverable(self) -> None:
+        """Raise :class:`InfeasibleInstanceError` unless the instance is coverable."""
+        if not self.system.is_coverable():
+            raise InfeasibleInstanceError(
+                "the union of all sets does not cover the universe"
+            )
+
+    def approximation_ratio(self, solution_size: int) -> Optional[float]:
+        """Return ``solution_size / opt`` when the planted optimum is known."""
+        if self.planted_opt is None:
+            return None
+        return solution_size / self.planted_opt
+
+    def __repr__(self) -> str:
+        return (
+            f"SetCoverInstance(n={self.universe_size}, m={self.num_sets}, "
+            f"planted_opt={self.planted_opt})"
+        )

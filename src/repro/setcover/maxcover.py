@@ -1,0 +1,76 @@
+"""Offline maximum coverage solvers.
+
+Maximum coverage asks for ``k`` sets covering as many elements as possible.
+The paper's Result 2 / Theorem 4 concerns its streaming variant; here we
+provide the offline greedy ``(1 - 1/e)``-approximation and an exact solver
+(used as ground truth for the ``D_MC`` gap experiments, where ``k = 2``).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Optional, Tuple
+
+from repro.setcover.instance import SetSystem
+from repro.utils.bitset import bitset_size
+
+
+def coverage_of(system: SetSystem, indices: Iterable[int]) -> int:
+    """Number of universe elements covered by the union of ``indices``."""
+    return system.coverage(list(indices))
+
+
+def greedy_max_coverage(system: SetSystem, k: int) -> Tuple[List[int], int]:
+    """Greedy ``(1 - 1/e)``-approximate maximum coverage.
+
+    Returns the chosen indices (in pick order) and the number of covered
+    elements.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    chosen: List[int] = []
+    covered = 0
+    available = set(range(system.num_sets))
+    for _ in range(min(k, system.num_sets)):
+        best_index = None
+        best_gain = -1
+        for index in available:
+            gain = bitset_size(system.mask(index) & ~covered)
+            if gain > best_gain or (gain == best_gain and best_index is not None and index < best_index):
+                best_gain = gain
+                best_index = index
+        if best_index is None or best_gain <= 0:
+            break
+        chosen.append(best_index)
+        available.remove(best_index)
+        covered |= system.mask(best_index)
+    return chosen, bitset_size(covered)
+
+
+def exact_max_coverage(
+    system: SetSystem, k: int, candidate_indices: Optional[List[int]] = None
+) -> Tuple[List[int], int]:
+    """Exact maximum coverage by enumeration over k-subsets.
+
+    Feasible for the small ``k`` used throughout the paper's hard instances
+    (``k = 2`` in `D_MC`, ``k ≤ 2α`` in `D_SC` checks).  ``candidate_indices``
+    restricts the search to a subset of the sets.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    candidates = list(candidate_indices) if candidate_indices is not None else list(
+        range(system.num_sets)
+    )
+    k = min(k, len(candidates))
+    if k == 0:
+        return [], 0
+    best_combo: List[int] = []
+    best_value = -1
+    for combo in combinations(candidates, k):
+        value = system.coverage(list(combo))
+        if value > best_value:
+            best_value = value
+            best_combo = list(combo)
+            if best_value == system.universe_size:
+                break
+    return best_combo, best_value

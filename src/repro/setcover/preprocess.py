@@ -1,0 +1,141 @@
+"""Classical preprocessing reductions for set cover instances.
+
+These are the standard polynomial-time simplifications applied before any
+solver (offline or streaming) and used by the workload generators' tests to
+sanity-check instance structure:
+
+* **dominated-set removal** — a set contained in another set never needs to
+  be picked;
+* **forced picks** — if some element appears in exactly one set, that set is
+  in every feasible cover;
+* **empty-set removal** — empty sets can never help.
+
+The reductions preserve at least one optimal solution; :func:`preprocess`
+returns both the reduced instance and the bookkeeping needed to translate a
+cover of the reduced instance back to the original indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.setcover.instance import SetSystem
+from repro.utils.bitset import bitset_size
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of preprocessing a set system.
+
+    Attributes
+    ----------
+    system:
+        The reduced system (same universe; possibly fewer sets; the elements
+        covered by forced picks are removed from every remaining set).
+    kept_indices:
+        For each set in the reduced system, its index in the original system.
+    forced_picks:
+        Original indices of sets that every feasible cover must contain
+        (already "applied": their elements are removed from the target).
+    removed_dominated:
+        Original indices of sets dropped because another set contains them.
+    residual_target_mask:
+        Bitset of original-universe elements still to be covered after the
+        forced picks.
+    """
+
+    system: SetSystem
+    kept_indices: List[int]
+    forced_picks: List[int] = field(default_factory=list)
+    removed_dominated: List[int] = field(default_factory=list)
+    residual_target_mask: int = 0
+
+    def lift_solution(self, reduced_solution: List[int]) -> List[int]:
+        """Translate a cover of the reduced system back to original indices."""
+        lifted = [self.kept_indices[i] for i in reduced_solution]
+        return sorted(set(self.forced_picks) | set(lifted))
+
+
+def remove_empty_sets(system: SetSystem) -> List[int]:
+    """Return the indices of non-empty sets (in original order)."""
+    return [i for i in range(system.num_sets) if system.mask(i) != 0]
+
+
+def find_dominated_sets(system: SetSystem, candidates: Optional[List[int]] = None) -> Set[int]:
+    """Indices of sets strictly contained in (or equal to, keeping the first) another set."""
+    indices = list(candidates) if candidates is not None else list(range(system.num_sets))
+    dominated: Set[int] = set()
+    # Sort by size descending so potential dominators come first.
+    by_size = sorted(indices, key=lambda i: bitset_size(system.mask(i)), reverse=True)
+    for position, index in enumerate(by_size):
+        mask = system.mask(index)
+        for dominator in by_size[:position]:
+            if dominator in dominated:
+                continue
+            if mask & ~system.mask(dominator) == 0:
+                dominated.add(index)
+                break
+    return dominated
+
+
+def find_forced_picks(system: SetSystem, candidates: List[int], target_mask: int) -> Set[int]:
+    """Sets that are the unique coverer of some still-uncovered element."""
+    forced: Set[int] = set()
+    element = 0
+    mask = target_mask
+    while mask:
+        if mask & 1:
+            holders = [i for i in candidates if system.mask(i) >> element & 1]
+            if len(holders) == 1:
+                forced.add(holders[0])
+        mask >>= 1
+        element += 1
+    return forced
+
+
+def preprocess(system: SetSystem) -> PreprocessResult:
+    """Apply empty-set removal, forced picks, and dominated-set removal.
+
+    Forced picks are applied iteratively (covering elements with a forced set
+    can make further elements uniquely covered); dominated-set removal runs
+    once at the end on the residual sets.
+    """
+    target = system.uncovered_mask([])  # full universe
+    candidates = remove_empty_sets(system)
+    forced: List[int] = []
+
+    while True:
+        newly_forced = find_forced_picks(system, candidates, target)
+        newly_forced -= set(forced)
+        if not newly_forced:
+            break
+        for index in sorted(newly_forced):
+            forced.append(index)
+            target &= ~system.mask(index)
+        candidates = [i for i in candidates if i not in newly_forced]
+        if target == 0:
+            break
+
+    # Restrict remaining sets to the residual target before dominance checks:
+    # containment is only meaningful on elements still to be covered.
+    residual_masks = {i: system.mask(i) & target for i in candidates}
+    residual_system = SetSystem.from_masks(
+        system.universe_size, [residual_masks[i] for i in candidates]
+    )
+    dominated_local = find_dominated_sets(residual_system)
+    dominated = [candidates[i] for i in sorted(dominated_local)]
+    kept = [i for pos, i in enumerate(candidates) if pos not in dominated_local]
+
+    reduced = SetSystem.from_masks(
+        system.universe_size,
+        [system.mask(i) & target for i in kept],
+        [system.name(i) for i in kept],
+    )
+    return PreprocessResult(
+        system=reduced,
+        kept_indices=kept,
+        forced_picks=forced,
+        removed_dominated=dominated,
+        residual_target_mask=target,
+    )

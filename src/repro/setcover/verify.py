@@ -1,0 +1,45 @@
+"""Verification helpers for set cover solutions.
+
+Every algorithm in the library returns set indices; these helpers confirm
+feasibility against the instance so tests and the experiment harness never
+trust an algorithm's own claim of correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+from repro.setcover.instance import SetSystem
+from repro.utils.bitset import bitset_to_set
+
+
+def uncovered_elements(system: SetSystem, indices: Iterable[int]) -> Set[int]:
+    """Return the set of universe elements not covered by ``indices``."""
+    return bitset_to_set(system.uncovered_mask(list(indices)))
+
+
+def is_feasible_cover(system: SetSystem, indices: Iterable[int]) -> bool:
+    """Return True iff the sets at ``indices`` cover the whole universe."""
+    return system.covers_universe(list(indices))
+
+
+def verify_cover(system: SetSystem, indices: Sequence[int]) -> None:
+    """Raise ``ValueError`` (with the missing elements) unless feasible.
+
+    Also rejects out-of-range or duplicate indices, which would silently
+    inflate/deflate solution sizes in the experiment tables.
+    """
+    seen = set()
+    for index in indices:
+        if not 0 <= index < system.num_sets:
+            raise ValueError(f"set index {index} out of range [0, {system.num_sets})")
+        if index in seen:
+            raise ValueError(f"duplicate set index {index} in solution")
+        seen.add(index)
+    missing = uncovered_elements(system, indices)
+    if missing:
+        sample = sorted(missing)[:10]
+        raise ValueError(
+            f"solution does not cover the universe; {len(missing)} elements missing "
+            f"(e.g. {sample})"
+        )

@@ -1,0 +1,78 @@
+"""Engine for running streaming algorithms with pass/space enforcement.
+
+The engine is deliberately thin: it builds the stream, hands it to the
+algorithm, then verifies the result against the declared budgets and (when
+asked) against the instance itself.  Keeping verification outside the
+algorithms means an algorithm cannot accidentally report better numbers than
+it achieved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import PassBudgetExceededError
+from repro.setcover.instance import SetSystem
+from repro.setcover.verify import verify_cover
+from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
+from repro.streaming.stream import SetStream, StreamOrder
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class EngineConfig:
+    """Configuration for a single engine run."""
+
+    order: StreamOrder = StreamOrder.ADVERSARIAL
+    seed: SeedLike = None
+    pass_budget: Optional[int] = None
+    verify_solution: bool = True
+
+
+class MultiPassEngine:
+    """Runs a :class:`StreamingAlgorithm` over a :class:`SetSystem`."""
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+
+    def run(
+        self,
+        algorithm: StreamingAlgorithm,
+        system: SetSystem,
+    ) -> StreamingResult:
+        """Execute the algorithm and enforce the configured budgets."""
+        stream = SetStream(
+            system,
+            order=self.config.order,
+            seed=self.config.seed,
+        )
+        result = algorithm.run(stream)
+        if (
+            self.config.pass_budget is not None
+            and result.passes > self.config.pass_budget
+        ):
+            raise PassBudgetExceededError(result.passes, self.config.pass_budget)
+        if self.config.verify_solution and result.solution:
+            verify_cover(system, result.solution)
+        return result
+
+
+def run_streaming_algorithm(
+    algorithm: StreamingAlgorithm,
+    system: SetSystem,
+    order: StreamOrder = StreamOrder.ADVERSARIAL,
+    seed: SeedLike = None,
+    pass_budget: Optional[int] = None,
+    verify_solution: bool = True,
+) -> StreamingResult:
+    """One-call convenience wrapper around :class:`MultiPassEngine`."""
+    engine = MultiPassEngine(
+        EngineConfig(
+            order=order,
+            seed=seed,
+            pass_budget=pass_budget,
+            verify_solution=verify_solution,
+        )
+    )
+    return engine.run(algorithm, system)

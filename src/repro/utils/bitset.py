@@ -1,0 +1,72 @@
+"""Bitset helpers for representing subsets of the universe ``[n]``.
+
+Sets over the universe ``{0, ..., n-1}`` are stored as Python integers where
+bit ``i`` set means element ``i`` is present.  This representation makes the
+inner loops of the streaming algorithms (union, intersection, uncovered-count)
+O(n/64) machine words instead of per-element hashing, which matters when the
+benchmarks sweep the universe size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set
+
+
+def bitset_from_iterable(elements: Iterable[int]) -> int:
+    """Build a bitset from an iterable of non-negative element indices."""
+    mask = 0
+    for element in elements:
+        if element < 0:
+            raise ValueError(f"elements must be non-negative, got {element}")
+        mask |= 1 << element
+    return mask
+
+
+def bitset_to_set(mask: int) -> Set[int]:
+    """Expand a bitset into a plain Python set of element indices."""
+    return set(iter_bits(mask))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of set bits in increasing order."""
+    index = 0
+    while mask:
+        if mask & 1:
+            yield index
+        mask >>= 1
+        index += 1
+
+
+def bitset_size(mask: int) -> int:
+    """Return the number of elements in the bitset (popcount)."""
+    return bin(mask).count("1") if mask else 0
+
+
+def bitset_union(*masks: int) -> int:
+    """Return the union of the given bitsets."""
+    result = 0
+    for mask in masks:
+        result |= mask
+    return result
+
+
+def bitset_intersection(*masks: int) -> int:
+    """Return the intersection of the given bitsets (full universe if empty)."""
+    if not masks:
+        raise ValueError("intersection of zero bitsets is undefined")
+    result = masks[0]
+    for mask in masks[1:]:
+        result &= mask
+    return result
+
+
+def bitset_difference(a: int, b: int) -> int:
+    """Return the set difference a \\ b."""
+    return a & ~b
+
+
+def universe_mask(n: int) -> int:
+    """Return the bitset representing the full universe {0, ..., n-1}."""
+    if n < 0:
+        raise ValueError(f"universe size must be non-negative, got {n}")
+    return (1 << n) - 1

@@ -1,0 +1,87 @@
+"""Lightweight ASCII table rendering for the experiment harness.
+
+The benchmark harness prints the rows each experiment reports (the analogue of
+the paper's quantitative claims) as plain-text tables so runs are readable in
+CI logs without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    float_format: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render headers and rows as an aligned ASCII table string."""
+    rendered_rows: List[List[str]] = [
+        [_format_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+class Table:
+    """Accumulates rows and renders them with :func:`format_table`.
+
+    Used by the experiment harness to collect one row per parameter setting and
+    print the resulting table, mirroring how the paper states its bounds as a
+    function of (n, m, alpha, epsilon).
+    """
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None) -> None:
+        self.headers = list(headers)
+        self.title = title
+        self.rows: List[List[Any]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row; the number of cells must match the headers."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self, float_format: str = ".4g") -> str:
+        """Render the accumulated rows as an ASCII table."""
+        return format_table(self.headers, self.rows, float_format, self.title)
+
+    def column(self, name: str) -> List[Any]:
+        """Return all values of the named column."""
+        try:
+            index = self.headers.index(name)
+        except ValueError as exc:
+            raise KeyError(f"no column named {name!r}") from exc
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:
+        return self.render()

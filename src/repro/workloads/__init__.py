@@ -1,0 +1,42 @@
+"""Workload generators for the experiments and examples.
+
+Synthetic set systems with controllable structure: uniform random sets,
+planted small covers (known ``opt``), Zipfian element popularity (a proxy for
+the data-mining / information-retrieval workloads the paper's introduction
+motivates), and coverage-style workloads for the maximum coverage experiments.
+"""
+
+from repro.workloads.random_instances import (
+    random_set_system,
+    random_instance,
+    plant_cover_instance,
+    zipfian_instance,
+    disjoint_blocks_instance,
+)
+from repro.workloads.coverage import coverage_workload, topic_coverage_instance
+from repro.workloads.adversarial import (
+    dsc_stream_instance,
+    dmc_stream_instance,
+)
+from repro.workloads.io import (
+    dumps_instance,
+    loads_instance,
+    save_instance,
+    load_instance,
+)
+
+__all__ = [
+    "random_set_system",
+    "random_instance",
+    "plant_cover_instance",
+    "zipfian_instance",
+    "disjoint_blocks_instance",
+    "coverage_workload",
+    "topic_coverage_instance",
+    "dsc_stream_instance",
+    "dmc_stream_instance",
+    "dumps_instance",
+    "loads_instance",
+    "save_instance",
+    "load_instance",
+]

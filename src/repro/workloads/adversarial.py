@@ -1,0 +1,69 @@
+"""Adversarial workloads derived from the lower-bound distributions.
+
+These wrap the D_SC / D_MC samplers into ordinary :class:`SetCoverInstance`
+objects so the streaming algorithms and baselines can be run directly on the
+paper's hard instances (experiment E8: random arrival does not make the hard
+instances easy).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lowerbound.dmc import DMCParameters, sample_dmc
+from repro.lowerbound.dsc import DSCParameters, sample_dsc
+from repro.setcover.instance import SetCoverInstance
+from repro.utils.rng import SeedLike
+
+
+def dsc_stream_instance(
+    universe_size: int,
+    num_pairs: int,
+    alpha: int,
+    theta: Optional[int] = None,
+    seed: SeedLike = None,
+) -> SetCoverInstance:
+    """A D_SC sample packaged as a streaming set cover instance.
+
+    The 2m sets appear in the order S_0..S_{m−1}, T_0..T_{m−1}; stream-order
+    randomisation is the engine's job.  When ``θ = 1`` the planted optimum 2
+    is recorded on the instance.
+    """
+    parameters = DSCParameters(
+        universe_size=universe_size, num_pairs=num_pairs, alpha=alpha
+    )
+    sample = sample_dsc(parameters, seed=seed, theta=theta)
+    return SetCoverInstance(
+        sample.set_system(),
+        planted_opt=sample.planted_opt,
+        metadata={
+            "kind": "dsc",
+            "theta": sample.theta,
+            "special_index": sample.special_index,
+            "alpha": alpha,
+            "t": parameters.resolved_t(),
+        },
+    )
+
+
+def dmc_stream_instance(
+    num_pairs: int,
+    epsilon: float,
+    theta: Optional[int] = None,
+    seed: SeedLike = None,
+) -> SetCoverInstance:
+    """A D_MC sample packaged as a streaming (max coverage) instance."""
+    parameters = DMCParameters(num_pairs=num_pairs, epsilon=epsilon)
+    sample = sample_dmc(parameters, seed=seed, theta=theta)
+    return SetCoverInstance(
+        sample.set_system(),
+        metadata={
+            "kind": "dmc",
+            "theta": sample.theta,
+            "special_index": sample.special_index,
+            "epsilon": epsilon,
+            "t1": parameters.t1,
+            "t2": parameters.t2,
+            "k": 2,
+        },
+    )

@@ -1,0 +1,94 @@
+"""Plain-text serialisation of set cover instances.
+
+The format is the conventional one used by set cover benchmark collections
+(and convenient to produce from logs): a header line ``n m`` followed by one
+line per set listing its elements as whitespace-separated integers.  Lines
+starting with ``#`` are comments; metadata (planted optimum, workload kind)
+is stored in comments so round-trips preserve it.
+
+Example::
+
+    # planted_opt: 3
+    6 3
+    0 1 2
+    2 3 4
+    4 5
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, TextIO, Union
+
+from repro.setcover.instance import SetCoverInstance, SetSystem
+
+PathLike = Union[str, Path]
+
+_METADATA_PREFIX = "# planted_opt:"
+_KIND_PREFIX = "# kind:"
+
+
+def dumps_instance(instance: SetCoverInstance) -> str:
+    """Serialise an instance to the plain-text format."""
+    lines: List[str] = []
+    if instance.planted_opt is not None:
+        lines.append(f"{_METADATA_PREFIX} {instance.planted_opt}")
+    kind = instance.metadata.get("kind")
+    if kind:
+        lines.append(f"{_KIND_PREFIX} {kind}")
+    system = instance.system
+    lines.append(f"{system.universe_size} {system.num_sets}")
+    for index in range(system.num_sets):
+        elements = sorted(system.elements(index))
+        # An empty set is written as "-" so the line is not lost on parsing.
+        lines.append(" ".join(str(e) for e in elements) if elements else "-")
+    return "\n".join(lines) + "\n"
+
+
+def loads_instance(text: str) -> SetCoverInstance:
+    """Parse an instance from the plain-text format."""
+    planted_opt: Optional[int] = None
+    kind: Optional[str] = None
+    data_lines: List[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith(_METADATA_PREFIX):
+            planted_opt = int(line[len(_METADATA_PREFIX):].strip())
+            continue
+        if line.startswith(_KIND_PREFIX):
+            kind = line[len(_KIND_PREFIX):].strip()
+            continue
+        if line.startswith("#"):
+            continue
+        data_lines.append(line)
+    if not data_lines:
+        raise ValueError("no instance data found")
+    header = data_lines[0].split()
+    if len(header) != 2:
+        raise ValueError(f"header must be 'n m', got {data_lines[0]!r}")
+    universe_size, num_sets = int(header[0]), int(header[1])
+    set_lines = data_lines[1:]
+    if len(set_lines) != num_sets:
+        raise ValueError(
+            f"header declares {num_sets} sets but {len(set_lines)} set lines found"
+        )
+    sets = []
+    for line in set_lines:
+        sets.append([int(token) for token in line.split()] if line != "-" else [])
+    system = SetSystem(universe_size, sets)
+    metadata = {"kind": kind} if kind else {}
+    return SetCoverInstance(system, planted_opt=planted_opt, metadata=metadata)
+
+
+def save_instance(instance: SetCoverInstance, path: PathLike) -> Path:
+    """Write an instance to a file and return the path."""
+    path = Path(path)
+    path.write_text(dumps_instance(instance))
+    return path
+
+
+def load_instance(path: PathLike) -> SetCoverInstance:
+    """Read an instance previously written by :func:`save_instance`."""
+    return loads_instance(Path(path).read_text())

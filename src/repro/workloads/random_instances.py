@@ -1,0 +1,209 @@
+"""Random set system generators with controllable structure."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.setcover.instance import SetCoverInstance, SetSystem
+from repro.utils.rng import RandomSource, SeedLike, spawn_rng
+
+
+def random_set_system(
+    universe_size: int,
+    num_sets: int,
+    set_size: Optional[int] = None,
+    density: Optional[float] = None,
+    seed: SeedLike = None,
+) -> SetSystem:
+    """Uniformly random sets, either of fixed size or i.i.d. element density.
+
+    Exactly one of ``set_size`` (each set is a uniform ``set_size``-subset) or
+    ``density`` (each element joins each set independently with this
+    probability) must be provided; when neither is, a density of
+    ``ln(n)/n · 4`` is used so random instances are coverable w.h.p.
+    """
+    rng = spawn_rng(seed)
+    if set_size is not None and density is not None:
+        raise ValueError("provide at most one of set_size and density")
+    if set_size is not None:
+        if not 0 <= set_size <= universe_size:
+            raise ValueError(
+                f"set_size must lie in [0, {universe_size}], got {set_size}"
+            )
+        sets = [rng.subset(universe_size, set_size) for _ in range(num_sets)]
+        return SetSystem(universe_size, sets)
+    if density is None:
+        density = min(1.0, 4.0 * math.log(max(universe_size, 2)) / max(universe_size, 1))
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must lie in [0, 1], got {density}")
+    sets = []
+    for _ in range(num_sets):
+        sets.append([e for e in range(universe_size) if rng.bernoulli(density)])
+    return SetSystem(universe_size, sets)
+
+
+def random_instance(
+    universe_size: int,
+    num_sets: int,
+    density: Optional[float] = None,
+    seed: SeedLike = None,
+) -> SetCoverInstance:
+    """A coverable random-density instance (re-draws until coverable)."""
+    rng = spawn_rng(seed)
+    for _attempt in range(32):
+        system = random_set_system(
+            universe_size, num_sets, density=density, seed=rng.spawn()
+        )
+        if system.is_coverable():
+            return SetCoverInstance(system, metadata={"kind": "random"})
+    # Force coverability by adding missing elements to the last set.
+    missing = system.uncovered_mask(range(system.num_sets))
+    masks = system.masks()
+    masks[-1] |= missing
+    system = SetSystem.from_masks(universe_size, masks)
+    return SetCoverInstance(system, metadata={"kind": "random", "patched": True})
+
+
+def plant_cover_instance(
+    universe_size: int,
+    num_sets: int,
+    cover_size: int,
+    decoy_set_size: Optional[int] = None,
+    overlap: float = 0.1,
+    seed: SeedLike = None,
+) -> SetCoverInstance:
+    """Instance with a planted cover of ``cover_size`` sets (known optimum).
+
+    The universe is split into ``cover_size`` nearly equal blocks; one planted
+    set per block covers that block (plus a small random ``overlap`` fraction
+    of other elements).  The remaining ``num_sets - cover_size`` decoy sets are
+    uniform random subsets small enough that no ``cover_size - 1`` sets can
+    cover the universe, so ``opt == cover_size`` exactly.
+
+    The planted sets are scattered at random positions of the stream order.
+    """
+    if cover_size < 1:
+        raise ValueError(f"cover_size must be >= 1, got {cover_size}")
+    if cover_size > num_sets:
+        raise ValueError("cover_size cannot exceed num_sets")
+    if cover_size > universe_size:
+        raise ValueError("cover_size cannot exceed universe_size")
+    rng = spawn_rng(seed)
+
+    block_size = universe_size // cover_size
+    blocks: List[List[int]] = []
+    start = 0
+    for index in range(cover_size):
+        end = universe_size if index == cover_size - 1 else start + block_size
+        blocks.append(list(range(start, end)))
+        start = end
+
+    planted_sets: List[List[int]] = []
+    for block in blocks:
+        block_members = set(block)
+        extra = [
+            element
+            for element in range(universe_size)
+            if element not in block_members and rng.bernoulli(overlap)
+        ]
+        planted_sets.append(sorted(block + extra))
+
+    if decoy_set_size is None:
+        # Decoys strictly smaller than a block so they cannot replace a
+        # planted set and opt stays exactly cover_size.
+        decoy_set_size = max(1, block_size // 2)
+    decoy_sets = [
+        sorted(rng.subset(universe_size, min(decoy_set_size, universe_size)))
+        for _ in range(num_sets - cover_size)
+    ]
+
+    all_sets = planted_sets + decoy_sets
+    order = rng.permutation(len(all_sets))
+    shuffled = [all_sets[i] for i in order]
+    planted_positions = sorted(order.index(i) for i in range(cover_size))
+    system = SetSystem(universe_size, shuffled)
+    return SetCoverInstance(
+        system,
+        planted_opt=cover_size,
+        metadata={
+            "kind": "planted",
+            "planted_positions": planted_positions,
+            "decoy_set_size": decoy_set_size,
+        },
+    )
+
+
+def zipfian_instance(
+    universe_size: int,
+    num_sets: int,
+    set_size: int,
+    skew: float = 1.1,
+    seed: SeedLike = None,
+) -> SetCoverInstance:
+    """Sets drawn with Zipfian element popularity (heavy-tailed coverage).
+
+    Models the web-host / document-coverage workloads of the paper's
+    introduction: a few popular elements appear in most sets while the tail is
+    rare, which is the regime where streaming set cover is hard in practice
+    (rare elements force many passes or large memory).
+    """
+    if skew <= 0:
+        raise ValueError(f"skew must be positive, got {skew}")
+    rng = spawn_rng(seed)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(universe_size)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def draw_element() -> int:
+        target = rng.random()
+        low, high = 0, universe_size - 1
+        while low < high:
+            mid = (low + high) // 2
+            if cumulative[mid] < target:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    sets: List[List[int]] = []
+    for _ in range(num_sets):
+        chosen = set()
+        attempts = 0
+        while len(chosen) < set_size and attempts < 50 * set_size:
+            chosen.add(draw_element())
+            attempts += 1
+        sets.append(sorted(chosen))
+    system = SetSystem(universe_size, sets)
+    # Patch coverability (rare tail elements may be missed entirely).
+    missing = system.uncovered_mask(range(system.num_sets))
+    if missing:
+        masks = system.masks()
+        masks[rng.randrange(num_sets)] |= missing
+        system = SetSystem.from_masks(universe_size, masks)
+    return SetCoverInstance(system, metadata={"kind": "zipf", "skew": skew})
+
+
+def disjoint_blocks_instance(
+    universe_size: int, num_blocks: int, seed: SeedLike = None
+) -> SetCoverInstance:
+    """A partition of the universe into ``num_blocks`` disjoint sets.
+
+    The simplest instance with ``opt == num_blocks``; useful as a sanity check
+    because every feasible cover must take every block.
+    """
+    if num_blocks < 1 or num_blocks > universe_size:
+        raise ValueError("num_blocks must lie in [1, universe_size]")
+    rng = spawn_rng(seed)
+    permutation = rng.permutation(universe_size)
+    blocks: List[List[int]] = [[] for _ in range(num_blocks)]
+    for position, element in enumerate(permutation):
+        blocks[position % num_blocks].append(element)
+    system = SetSystem(universe_size, [sorted(block) for block in blocks])
+    return SetCoverInstance(
+        system, planted_opt=num_blocks, metadata={"kind": "disjoint-blocks"}
+    )

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.setcover.instance import SetCoverInstance, SetSystem
+from repro.utils.rng import RandomSource
+from repro.workloads.random_instances import plant_cover_instance, random_instance
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A deterministic random source shared by tests that need randomness."""
+    return RandomSource(12345)
+
+
+@pytest.fixture
+def tiny_system() -> SetSystem:
+    """A hand-written 6-element system with known optimum 2 ({0,1,2} ∪ {3,4,5})."""
+    return SetSystem(
+        6,
+        [
+            [0, 1, 2],
+            [3, 4, 5],
+            [0, 3],
+            [1, 4],
+            [2, 5],
+            [0, 1, 2, 3],
+        ],
+    )
+
+
+@pytest.fixture
+def chain_system() -> SetSystem:
+    """A system where greedy is forced to pick 3 sets but opt is 2."""
+    # Classic greedy-vs-opt gadget: two sets partition the universe, a third
+    # large set lures greedy away.
+    return SetSystem(
+        8,
+        [
+            [0, 1, 2, 3],          # left half (optimal)
+            [4, 5, 6, 7],          # right half (optimal)
+            [1, 2, 3, 4, 5, 6],    # greedy bait: largest but leaves both ends
+            [0],
+            [7],
+        ],
+    )
+
+
+@pytest.fixture
+def planted_instance() -> SetCoverInstance:
+    """A medium planted-cover instance with known optimum 4."""
+    return plant_cover_instance(
+        universe_size=120, num_sets=30, cover_size=4, seed=777
+    )
+
+
+@pytest.fixture
+def small_random_instance() -> SetCoverInstance:
+    """A coverable random instance used by streaming integration tests."""
+    return random_instance(universe_size=60, num_sets=25, seed=999)

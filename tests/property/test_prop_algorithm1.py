@@ -1,0 +1,99 @@
+"""Property-based tests for Algorithm 1 and the streaming substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm1 import AlgorithmOneConfig, StreamingSetCover
+from repro.core.guessing import OptGuessingSetCover
+from repro.setcover.exact import exact_cover_value
+from repro.setcover.instance import SetSystem
+from repro.setcover.verify import is_feasible_cover
+from repro.streaming.engine import run_streaming_algorithm
+from repro.streaming.stream import StreamOrder
+
+
+@st.composite
+def coverable_systems(draw, max_universe=24, max_sets=10):
+    n = draw(st.integers(min_value=2, max_value=max_universe))
+    m = draw(st.integers(min_value=2, max_value=max_sets))
+    sets = [
+        draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=1,
+                max_size=max(1, n // 2),
+            )
+        )
+        for _ in range(m)
+    ]
+    covered = set().union(*sets)
+    missing = set(range(n)) - covered
+    if missing:
+        sets[-1] = set(sets[-1]) | missing
+    return SetSystem(n, sets)
+
+
+class TestAlgorithmOneProperties:
+    @given(
+        coverable_systems(),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_always_feasible(self, system, alpha, seed):
+        opt = exact_cover_value(system)
+        config = AlgorithmOneConfig(alpha=alpha, opt_guess=opt, epsilon=0.5)
+        result = run_streaming_algorithm(
+            StreamingSetCover(config, seed=seed), system, verify_solution=False
+        )
+        assert is_feasible_cover(system, result.solution)
+
+    @given(
+        coverable_systems(),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pass_budget_respected(self, system, alpha, seed):
+        opt = exact_cover_value(system)
+        config = AlgorithmOneConfig(alpha=alpha, opt_guess=opt, epsilon=0.5)
+        result = run_streaming_algorithm(
+            StreamingSetCover(config, seed=seed), system, verify_solution=False
+        )
+        assert result.passes <= 2 * alpha + 2
+
+    @given(coverable_systems(), st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_guessing_wrapper_feasible_without_opt(self, system, seed):
+        result = run_streaming_algorithm(
+            OptGuessingSetCover(alpha=2, epsilon=0.5, seed=seed),
+            system,
+            verify_solution=False,
+        )
+        assert is_feasible_cover(system, result.solution)
+
+    @given(coverable_systems(), st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_order_feasible(self, system, seed):
+        opt = exact_cover_value(system)
+        config = AlgorithmOneConfig(alpha=2, opt_guess=opt, epsilon=0.5)
+        result = run_streaming_algorithm(
+            StreamingSetCover(config, seed=seed),
+            system,
+            order=StreamOrder.RANDOM,
+            seed=seed,
+            verify_solution=False,
+        )
+        assert is_feasible_cover(system, result.solution)
+
+    @given(coverable_systems(), st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_space_meter_nonnegative_and_peak_consistent(self, system, seed):
+        opt = exact_cover_value(system)
+        config = AlgorithmOneConfig(alpha=2, opt_guess=opt, epsilon=0.5)
+        result = run_streaming_algorithm(
+            StreamingSetCover(config, seed=seed), system, verify_solution=False
+        )
+        report = result.space
+        assert report.peak_words >= report.final_words >= 0
+        assert report.peak_words >= max(report.peak_by_category.values(), default=0)

@@ -1,0 +1,99 @@
+"""Property-based tests for the hard-distribution samplers and gadgets."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbound.dsc import DSCParameters, sample_dsc
+from repro.lowerbound.mapping_extension import random_mapping_extension
+from repro.problems.disjointness import sample_ddisj, sample_ddisj_no, sample_ddisj_yes
+from repro.problems.ghd import ghd_answer, sample_dghd
+from repro.utils.bitset import bitset_size, universe_mask
+
+seeds = st.integers(min_value=0, max_value=10 ** 9)
+
+
+class TestDisjointnessProperties:
+    @given(st.integers(min_value=1, max_value=30), seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_yes_instances_disjoint(self, t, seed):
+        instance = sample_ddisj_yes(t, seed=seed)
+        assert not (instance.alice & instance.bob)
+        assert instance.alice <= frozenset(range(t))
+
+    @given(st.integers(min_value=1, max_value=30), seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_no_instances_single_intersection(self, t, seed):
+        instance = sample_ddisj_no(t, seed=seed)
+        assert len(instance.alice & instance.bob) == 1
+
+    @given(st.integers(min_value=1, max_value=30), seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_label_matches_structure(self, t, seed):
+        instance = sample_ddisj(t, seed=seed)
+        assert instance.is_disjoint == (instance.z == 0)
+
+
+class TestGHDProperties:
+    @given(st.integers(min_value=9, max_value=40), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_labelled_instances_respect_promise(self, t, seed):
+        instance = sample_dghd(t, seed=seed)
+        answer = ghd_answer(instance)
+        if answer != "*":
+            assert answer == instance.label
+
+
+class TestMappingExtensionProperties:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=60),
+        seeds,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_partition(self, t, extra, seed):
+        n = t + extra
+        mapping = random_mapping_extension(n, t, seed=seed)
+        union = set()
+        total = 0
+        for i in range(t):
+            block = mapping.image(i)
+            assert not (union & block)
+            union |= block
+            total += len(block)
+        assert union == set(range(n))
+        assert total == n
+
+
+class TestDscProperties:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=6),
+        seeds,
+        st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_structure_invariants(self, num_pairs, t, seed, theta):
+        n = 12 * t
+        parameters = DSCParameters(
+            universe_size=n, num_pairs=num_pairs, alpha=2, t=t
+        )
+        instance = sample_dsc(parameters, seed=seed, theta=theta)
+        full = universe_mask(n)
+        # Every set is a subset of the universe (it may be empty at tiny t,
+        # when an embedded A_i or B_i happens to be all of [t]).
+        for mask in instance.alice_sets + instance.bob_sets:
+            assert mask & ~full == 0
+            assert 0 <= bitset_size(mask) <= n
+        # Pair unions equal [n] minus the mapped intersection.
+        for i in range(num_pairs):
+            pair = instance.disjointness[i]
+            expected = full & ~instance.mappings[i].extend_mask(pair.intersection)
+            assert instance.pair_union_mask(i) == expected
+        # θ = 1 plants exactly one disjoint pair; θ = 0 plants none.
+        disjoint_pairs = [
+            i for i in range(num_pairs) if instance.disjointness[i].is_disjoint
+        ]
+        if theta == 1:
+            assert disjoint_pairs == [instance.special_index]
+        else:
+            assert disjoint_pairs == []

@@ -1,0 +1,101 @@
+"""Property-based tests for the information-theory toolkit.
+
+These exercise the identities the paper's Appendix A relies on over random
+small joint distributions, so the exact-computation code paths (marginals,
+conditionals, chain rule) are validated beyond the handcrafted cases.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infotheory.distributions import JointDistribution
+from repro.infotheory.entropy import (
+    conditional_entropy,
+    conditional_mutual_information,
+    entropy,
+    mutual_information,
+)
+from repro.infotheory.facts import (
+    check_fact_a4,
+    check_fact_chain_rule,
+    check_fact_conditioning_reduces_entropy,
+    check_fact_entropy_bounds,
+    check_fact_mi_nonnegative,
+)
+
+
+@st.composite
+def random_joints(draw, num_variables=3, max_support=2):
+    """A random joint over `num_variables` binary-ish variables."""
+    variables = [f"V{i}" for i in range(num_variables)]
+    assignments = []
+    for v0 in range(max_support):
+        for v1 in range(max_support):
+            for v2 in range(max_support):
+                assignments.append((v0, v1, v2)[:num_variables])
+    weights = [
+        draw(st.integers(min_value=0, max_value=20)) for _ in range(len(assignments))
+    ]
+    if sum(weights) == 0:
+        weights[0] = 1
+    total = sum(weights)
+    pmf = {
+        assignment: weight / total
+        for assignment, weight in zip(assignments, weights)
+        if weight > 0
+    }
+    return JointDistribution(variables, pmf)
+
+
+class TestEntropyProperties:
+    @given(random_joints())
+    @settings(max_examples=60, deadline=None)
+    def test_entropy_bounds(self, joint):
+        assert check_fact_entropy_bounds(joint, "V0")
+
+    @given(random_joints())
+    @settings(max_examples=60, deadline=None)
+    def test_mi_nonnegative(self, joint):
+        assert check_fact_mi_nonnegative(joint, ["V0"], ["V1"])
+
+    @given(random_joints())
+    @settings(max_examples=60, deadline=None)
+    def test_conditioning_reduces_entropy(self, joint):
+        assert check_fact_conditioning_reduces_entropy(joint, "V0", ["V1"], ["V2"])
+
+    @given(random_joints())
+    @settings(max_examples=60, deadline=None)
+    def test_chain_rule(self, joint):
+        assert check_fact_chain_rule(joint, "V0", "V1", "V2")
+
+    @given(random_joints())
+    @settings(max_examples=60, deadline=None)
+    def test_fact_a4(self, joint):
+        assert check_fact_a4(joint, "V0", "V1", "V2")
+
+    @given(random_joints())
+    @settings(max_examples=60, deadline=None)
+    def test_mi_symmetry(self, joint):
+        lhs = mutual_information(joint, ["V0"], ["V1"])
+        rhs = mutual_information(joint, ["V1"], ["V0"])
+        assert math.isclose(lhs, rhs, abs_tol=1e-7)
+
+    @given(random_joints())
+    @settings(max_examples=60, deadline=None)
+    def test_joint_entropy_decomposition(self, joint):
+        # H(X, Y) = H(X) + H(Y | X).
+        lhs = entropy(joint, ["V0", "V1"])
+        rhs = entropy(joint, ["V0"]) + conditional_entropy(joint, ["V1"], ["V0"])
+        assert math.isclose(lhs, rhs, abs_tol=1e-7)
+
+    @given(random_joints())
+    @settings(max_examples=60, deadline=None)
+    def test_mi_upper_bounded_by_entropy(self, joint):
+        assert mutual_information(joint, ["V0"], ["V1"]) <= entropy(joint, ["V0"]) + 1e-7
+
+    @given(random_joints())
+    @settings(max_examples=60, deadline=None)
+    def test_conditional_mi_nonnegative(self, joint):
+        assert conditional_mutual_information(joint, ["V0"], ["V1"], ["V2"]) >= -1e-9

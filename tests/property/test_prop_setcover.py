@@ -1,0 +1,93 @@
+"""Property-based tests for the offline set cover solvers."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.setcover.exact import brute_force_set_cover, exact_set_cover
+from repro.setcover.fractional import counting_lower_bound
+from repro.setcover.greedy import greedy_set_cover
+from repro.setcover.instance import SetSystem
+from repro.setcover.maxcover import exact_max_coverage, greedy_max_coverage
+from repro.setcover.verify import is_feasible_cover
+
+
+@st.composite
+def coverable_systems(draw, max_universe=10, max_sets=6):
+    """Small random systems patched to be coverable."""
+    n = draw(st.integers(min_value=1, max_value=max_universe))
+    m = draw(st.integers(min_value=1, max_value=max_sets))
+    sets = [
+        draw(st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n))
+        for _ in range(m)
+    ]
+    covered = set().union(*sets) if sets else set()
+    missing = set(range(n)) - covered
+    if missing:
+        sets[0] = set(sets[0]) | missing
+    return SetSystem(n, sets)
+
+
+class TestGreedyProperties:
+    @given(coverable_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_feasible(self, system):
+        solution = greedy_set_cover(system)
+        assert is_feasible_cover(system, solution)
+
+    @given(coverable_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_no_duplicates(self, system):
+        solution = greedy_set_cover(system)
+        assert len(solution) == len(set(solution))
+
+    @given(coverable_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_within_ln_n_of_opt(self, system):
+        greedy = greedy_set_cover(system)
+        opt = exact_set_cover(system)
+        n = system.universe_size
+        assert len(greedy) <= max(1, math.ceil(len(opt) * (math.log(n) + 1)))
+
+
+class TestExactProperties:
+    @given(coverable_systems(max_universe=8, max_sets=5))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_matches_brute_force(self, system):
+        assert len(exact_set_cover(system)) == len(brute_force_set_cover(system))
+
+    @given(coverable_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_feasible_and_minimal_vs_greedy(self, system):
+        exact = exact_set_cover(system)
+        assert is_feasible_cover(system, exact)
+        assert len(exact) <= len(greedy_set_cover(system))
+
+    @given(coverable_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_counting_bound_below_opt(self, system):
+        assert counting_lower_bound(system) <= len(exact_set_cover(system))
+
+
+class TestMaxCoverageProperties:
+    @given(coverable_systems(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_at_least_greedy(self, system, k):
+        _, greedy_value = greedy_max_coverage(system, k)
+        _, exact_value = exact_max_coverage(system, k)
+        assert exact_value >= greedy_value
+
+    @given(coverable_systems(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_coverage_monotone_in_k(self, system, k):
+        _, smaller = exact_max_coverage(system, k)
+        _, larger = exact_max_coverage(system, k + 1)
+        assert larger >= smaller
+
+    @given(coverable_systems(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_guarantee(self, system, k):
+        _, greedy_value = greedy_max_coverage(system, k)
+        _, exact_value = exact_max_coverage(system, k)
+        assert greedy_value >= (1 - 1 / math.e) * exact_value - 1e-9

@@ -1,0 +1,126 @@
+"""Property-based tests for the streaming substrate and preprocessing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.saha_getoor import SahaGetoorGreedy
+from repro.setcover.exact import exact_cover_value, exact_set_cover
+from repro.setcover.instance import SetSystem
+from repro.setcover.preprocess import preprocess
+from repro.setcover.verify import is_feasible_cover, verify_cover
+from repro.streaming.engine import run_streaming_algorithm
+from repro.streaming.space import SpaceMeter
+from repro.streaming.stream import SetStream, StreamOrder
+from repro.workloads.io import dumps_instance, loads_instance
+from repro.setcover.instance import SetCoverInstance
+
+
+@st.composite
+def coverable_systems(draw, max_universe=16, max_sets=8):
+    n = draw(st.integers(min_value=1, max_value=max_universe))
+    m = draw(st.integers(min_value=1, max_value=max_sets))
+    sets = [
+        draw(st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n))
+        for _ in range(m)
+    ]
+    covered = set().union(*sets) if sets else set()
+    missing = set(range(n)) - covered
+    if missing:
+        sets[0] = set(sets[0]) | missing
+    return SetSystem(n, sets)
+
+
+@st.composite
+def arbitrary_systems(draw, max_universe=16, max_sets=8):
+    n = draw(st.integers(min_value=1, max_value=max_universe))
+    m = draw(st.integers(min_value=1, max_value=max_sets))
+    sets = [
+        draw(st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n))
+        for _ in range(m)
+    ]
+    return SetSystem(n, sets)
+
+
+class TestStreamProperties:
+    @given(arbitrary_systems(), st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_order_is_permutation(self, system, seed):
+        stream = SetStream(system, order=StreamOrder.RANDOM, seed=seed)
+        indices = [index for index, _ in stream.iterate_pass()]
+        assert sorted(indices) == list(range(system.num_sets))
+
+    @given(arbitrary_systems(), st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=40, deadline=None)
+    def test_masks_match_system(self, system, seed):
+        stream = SetStream(system, order=StreamOrder.RANDOM, seed=seed)
+        for index, mask in stream.iterate_pass():
+            assert mask == system.mask(index)
+
+    @given(arbitrary_systems(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_pass_counter_matches_iterations(self, system, passes):
+        stream = SetStream(system)
+        for _ in range(passes):
+            list(stream.iterate_pass())
+        assert stream.passes_consumed == passes
+
+
+class TestSpaceMeterProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 100)), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_peak_is_max_of_running_totals(self, updates):
+        meter = SpaceMeter()
+        running_peak = 0
+        for category, words in updates:
+            meter.set_usage(category, words)
+            running_peak = max(running_peak, meter.current_words)
+        assert meter.peak_words == running_peak
+        assert meter.peak_words >= meter.current_words
+
+
+class TestStreamingAlgorithmProperties:
+    @given(coverable_systems(), st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_single_pass_greedy_feasible_any_order(self, system, seed):
+        result = run_streaming_algorithm(
+            SahaGetoorGreedy(),
+            system,
+            order=StreamOrder.RANDOM,
+            seed=seed,
+            verify_solution=False,
+        )
+        assert is_feasible_cover(system, result.solution)
+        assert result.passes == 1
+
+
+class TestPreprocessProperties:
+    @given(coverable_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_preprocessing_preserves_optimum(self, system):
+        original_opt = exact_cover_value(system)
+        result = preprocess(system)
+        if result.residual_target_mask == 0:
+            reduced_solution = []
+        else:
+            reduced_solution = exact_set_cover(
+                result.system, target_mask=result.residual_target_mask
+            )
+        lifted = result.lift_solution(reduced_solution)
+        verify_cover(system, lifted)
+        assert len(lifted) == original_opt
+
+    @given(coverable_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_forced_picks_are_original_indices(self, system):
+        result = preprocess(system)
+        assert all(0 <= i < system.num_sets for i in result.forced_picks)
+        assert all(0 <= i < system.num_sets for i in result.kept_indices)
+
+
+class TestSerializationProperties:
+    @given(arbitrary_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_text_round_trip(self, system):
+        instance = SetCoverInstance(system)
+        rebuilt = loads_instance(dumps_instance(instance))
+        assert rebuilt.system == system

@@ -1,0 +1,58 @@
+"""Unit tests for the McGregor-Vu style sketched max coverage baseline."""
+
+import pytest
+
+from repro.baselines.mcgregor_vu import McGregorVuMaxCoverage
+from repro.setcover.maxcover import exact_max_coverage
+from repro.streaming.engine import run_streaming_algorithm
+from repro.workloads.coverage import topic_coverage_instance
+
+
+@pytest.fixture
+def coverage_instance():
+    return topic_coverage_instance(300, 30, communities=3, seed=21)
+
+
+class TestMcGregorVu:
+    def test_single_pass_and_k_sets(self, coverage_instance):
+        algorithm = McGregorVuMaxCoverage(k=3, sketch_size=16, seed=1)
+        result = run_streaming_algorithm(
+            algorithm, coverage_instance.system, verify_solution=False
+        )
+        assert result.passes == 1
+        assert len(result.solution) <= 3
+
+    def test_space_bounded_by_sketches(self, coverage_instance):
+        sketch_size = 8
+        algorithm = McGregorVuMaxCoverage(k=2, sketch_size=sketch_size, seed=2)
+        result = run_streaming_algorithm(
+            algorithm, coverage_instance.system, verify_solution=False
+        )
+        m = coverage_instance.num_sets
+        assert result.space.peak_words <= m * (sketch_size + 1)
+
+    def test_larger_sketch_does_not_hurt_quality(self, coverage_instance):
+        _, opt = exact_max_coverage(coverage_instance.system, 2)
+        values = {}
+        for sketch_size in (4, 64):
+            algorithm = McGregorVuMaxCoverage(k=2, sketch_size=sketch_size, seed=3)
+            result = run_streaming_algorithm(
+                algorithm, coverage_instance.system, verify_solution=False
+            )
+            values[sketch_size] = coverage_instance.system.coverage(result.solution)
+        assert values[64] >= values[4] - opt * 0.2
+
+    def test_achieves_reasonable_coverage(self, coverage_instance):
+        _, opt = exact_max_coverage(coverage_instance.system, 3)
+        algorithm = McGregorVuMaxCoverage(k=3, sketch_size=48, seed=4)
+        result = run_streaming_algorithm(
+            algorithm, coverage_instance.system, verify_solution=False
+        )
+        true_coverage = coverage_instance.system.coverage(result.solution)
+        assert true_coverage >= 0.5 * opt
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            McGregorVuMaxCoverage(k=0)
+        with pytest.raises(ValueError):
+            McGregorVuMaxCoverage(k=2, sketch_size=0)

@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    EXPERIMENT_DESCRIPTIONS,
+    build_parser,
+    main,
+    resolve_experiment_ids,
+    run_experiments,
+)
+from repro.experiments.experiment_defs import EXPERIMENT_REGISTRY
+
+
+class TestResolution:
+    def test_all_expands_in_order(self):
+        ids = resolve_experiment_ids(["all"])
+        assert ids[0] == "E1" and ids[-1] == "E12"
+        assert len(ids) == len(EXPERIMENT_REGISTRY)
+
+    def test_case_insensitive(self):
+        assert resolve_experiment_ids(["e5", "E12"]) == ["E5", "E12"]
+
+    def test_unknown_id_exits(self):
+        with pytest.raises(SystemExit):
+            resolve_experiment_ids(["E99"])
+
+    def test_descriptions_cover_registry(self):
+        assert set(EXPERIMENT_DESCRIPTIONS) == set(EXPERIMENT_REGISTRY)
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_options(self):
+        args = build_parser().parse_args(
+            ["run", "E2", "E5", "--seed", "7", "--json", "out.json", "--quiet"]
+        )
+        assert args.experiments == ["E2", "E5"]
+        assert args.seed == 7
+        assert args.json == "out.json"
+        assert args.quiet is True
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRunExperiments:
+    def test_runs_and_collects(self):
+        printed = []
+        results = run_experiments(["E12"], printer=printed.append)
+        assert len(results) == 1
+        assert results[0].experiment_id == "E12"
+        assert any("E12" in line for line in printed)
+
+    def test_quiet_suppresses_tables(self):
+        printed = []
+        run_experiments(["E12"], printer=printed.append, quiet=True)
+        assert all("quantity" not in line for line in printed)
+
+    def test_seed_override_passes_through(self):
+        results = run_experiments(["E12"], seed=123, quiet=True, printer=lambda _ : None)
+        assert results[0].findings["all_facts_hold"]
+
+
+class TestMainEntryPoint:
+    def test_list_returns_zero(self, capsys):
+        assert main(["list"]) == 0
+        captured = capsys.readouterr()
+        assert "E1" in captured.out
+
+    def test_run_writes_json_and_markdown(self, tmp_path, capsys):
+        json_path = tmp_path / "results.json"
+        md_path = tmp_path / "report.md"
+        code = main(
+            [
+                "run",
+                "E12",
+                "--quiet",
+                "--json",
+                str(json_path),
+                "--markdown",
+                str(md_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload[0]["experiment_id"] == "E12"
+        assert "E12" in md_path.read_text()

@@ -1,0 +1,168 @@
+"""Unit tests for Algorithm 1 (StreamingSetCover)."""
+
+import pytest
+
+from repro.core.algorithm1 import (
+    AlgorithmOneConfig,
+    StreamingSetCover,
+    expected_pass_count,
+    solution_size_bound,
+    space_bound_words,
+)
+from repro.setcover.exact import exact_cover_value
+from repro.setcover.verify import is_feasible_cover
+from repro.streaming.engine import run_streaming_algorithm
+from repro.streaming.stream import StreamOrder
+from repro.workloads.random_instances import (
+    disjoint_blocks_instance,
+    plant_cover_instance,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        AlgorithmOneConfig()
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            AlgorithmOneConfig(alpha=0)
+
+    def test_bad_opt_guess(self):
+        with pytest.raises(ValueError):
+            AlgorithmOneConfig(opt_guess=0)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            AlgorithmOneConfig(epsilon=0.0)
+        with pytest.raises(ValueError):
+            AlgorithmOneConfig(epsilon=1.5)
+
+    def test_bad_solver(self):
+        with pytest.raises(ValueError):
+            AlgorithmOneConfig(subinstance_solver="magic")
+
+
+class TestFeasibilityAndApproximation:
+    @pytest.mark.parametrize("alpha", [1, 2, 3])
+    def test_returns_feasible_cover(self, alpha, planted_instance):
+        config = AlgorithmOneConfig(
+            alpha=alpha, opt_guess=planted_instance.planted_opt, epsilon=0.5
+        )
+        algorithm = StreamingSetCover(config, seed=42)
+        result = run_streaming_algorithm(algorithm, planted_instance.system)
+        assert is_feasible_cover(planted_instance.system, result.solution)
+
+    @pytest.mark.parametrize("alpha", [1, 2, 3])
+    def test_solution_size_within_bound(self, alpha, planted_instance):
+        opt = planted_instance.planted_opt
+        config = AlgorithmOneConfig(alpha=alpha, opt_guess=opt, epsilon=0.5)
+        algorithm = StreamingSetCover(config, seed=7)
+        result = run_streaming_algorithm(algorithm, planted_instance.system)
+        # Lemma 3.10 bound plus the (rare) clean-up pass slack.
+        assert result.solution_size <= (alpha + 0.5) * opt + opt
+
+    def test_exact_on_disjoint_blocks(self):
+        instance = disjoint_blocks_instance(40, 4, seed=5)
+        config = AlgorithmOneConfig(alpha=2, opt_guess=4, epsilon=0.5)
+        algorithm = StreamingSetCover(config, seed=1)
+        result = run_streaming_algorithm(algorithm, instance.system)
+        # Every block is mandatory, so any feasible cover has exactly 4 sets.
+        assert result.solution_size == 4
+
+    def test_greedy_subsolver_also_feasible(self, planted_instance):
+        config = AlgorithmOneConfig(
+            alpha=2,
+            opt_guess=planted_instance.planted_opt,
+            subinstance_solver="greedy",
+        )
+        algorithm = StreamingSetCover(config, seed=3)
+        result = run_streaming_algorithm(algorithm, planted_instance.system)
+        assert is_feasible_cover(planted_instance.system, result.solution)
+
+    def test_random_arrival_order(self, planted_instance):
+        config = AlgorithmOneConfig(alpha=2, opt_guess=planted_instance.planted_opt)
+        algorithm = StreamingSetCover(config, seed=8)
+        result = run_streaming_algorithm(
+            algorithm, planted_instance.system, order=StreamOrder.RANDOM, seed=8
+        )
+        assert is_feasible_cover(planted_instance.system, result.solution)
+
+
+class TestPassAndSpaceAccounting:
+    @pytest.mark.parametrize("alpha", [1, 2, 3])
+    def test_pass_count_bound(self, alpha, planted_instance):
+        config = AlgorithmOneConfig(alpha=alpha, opt_guess=planted_instance.planted_opt)
+        algorithm = StreamingSetCover(config, seed=2)
+        result = run_streaming_algorithm(algorithm, planted_instance.system)
+        assert result.passes <= expected_pass_count(alpha, cleanup=True)
+
+    def test_space_categories_present(self, planted_instance):
+        config = AlgorithmOneConfig(alpha=2, opt_guess=planted_instance.planted_opt)
+        algorithm = StreamingSetCover(config, seed=2)
+        result = run_streaming_algorithm(algorithm, planted_instance.system)
+        categories = result.space.peak_by_category
+        assert "uncovered_universe" in categories
+        assert categories["uncovered_universe"] == planted_instance.universe_size
+
+    def test_metadata_records_samples(self, planted_instance):
+        config = AlgorithmOneConfig(alpha=3, opt_guess=planted_instance.planted_opt)
+        algorithm = StreamingSetCover(config, seed=2)
+        result = run_streaming_algorithm(algorithm, planted_instance.system)
+        assert len(result.metadata["sample_sizes"]) <= 3
+
+    def test_larger_alpha_stores_fewer_projections(self):
+        # Use a large universe with a reduced sampling constant so the rate is
+        # below 1 and the n^{1/alpha} scaling is visible.
+        instance = plant_cover_instance(2048, 30, 3, seed=10)
+        stored = {}
+        for alpha in (1, 3):
+            config = AlgorithmOneConfig(
+                alpha=alpha,
+                opt_guess=3,
+                epsilon=0.5,
+                sampling_constant=1.0,
+                subinstance_solver="greedy",
+            )
+            algorithm = StreamingSetCover(config, seed=4)
+            result = run_streaming_algorithm(algorithm, instance.system)
+            stored[alpha] = result.space.peak_by_category.get("stored_incidences", 0)
+        assert stored[3] < stored[1]
+
+
+class TestBoundFormulas:
+    def test_expected_pass_count(self):
+        assert expected_pass_count(1) == 3
+        assert expected_pass_count(3) == 7
+        assert expected_pass_count(2, cleanup=True) == 6
+
+    def test_expected_pass_count_invalid(self):
+        with pytest.raises(ValueError):
+            expected_pass_count(0)
+
+    def test_solution_size_bound(self):
+        assert solution_size_bound(2, 0.5, 4) == 10.0
+
+    def test_space_bound_monotone_in_n(self):
+        small = space_bound_words(256, 50, 2, 0.5)
+        large = space_bound_words(4096, 50, 2, 0.5)
+        assert large > small
+
+    def test_space_bound_decreasing_in_alpha(self):
+        loose = space_bound_words(4096, 50, 1, 0.5)
+        tight = space_bound_words(4096, 50, 4, 0.5)
+        assert tight < loose
+
+
+class TestOptGuessSensitivity:
+    def test_underestimated_opt_still_feasible(self, planted_instance):
+        config = AlgorithmOneConfig(alpha=2, opt_guess=1, epsilon=0.5)
+        algorithm = StreamingSetCover(config, seed=6)
+        result = run_streaming_algorithm(algorithm, planted_instance.system)
+        assert is_feasible_cover(planted_instance.system, result.solution)
+
+    def test_overestimated_opt_still_feasible(self, planted_instance):
+        config = AlgorithmOneConfig(alpha=2, opt_guess=20, epsilon=0.5)
+        algorithm = StreamingSetCover(config, seed=6)
+        result = run_streaming_algorithm(algorithm, planted_instance.system)
+        assert is_feasible_cover(planted_instance.system, result.solution)
+        assert result.solution_size >= exact_cover_value(planted_instance.system)

@@ -1,0 +1,78 @@
+"""Unit tests for the streaming max coverage algorithm."""
+
+import pytest
+
+from repro.core.maxcover_stream import StreamingMaxCoverage, maxcover_space_bound_words
+from repro.setcover.maxcover import exact_max_coverage
+from repro.streaming.engine import run_streaming_algorithm
+from repro.workloads.coverage import topic_coverage_instance
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            StreamingMaxCoverage(k=0)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            StreamingMaxCoverage(k=2, epsilon=0.0)
+        with pytest.raises(ValueError):
+            StreamingMaxCoverage(k=2, epsilon=1.0)
+
+    def test_bad_solver(self):
+        with pytest.raises(ValueError):
+            StreamingMaxCoverage(k=2, solver="quantum")
+
+
+class TestBehaviour:
+    def test_single_pass(self):
+        instance = topic_coverage_instance(100, 20, communities=2, seed=4)
+        algorithm = StreamingMaxCoverage(k=2, epsilon=0.3, seed=5)
+        result = run_streaming_algorithm(
+            algorithm, instance.system, verify_solution=False
+        )
+        assert result.passes == 1
+        assert len(result.solution) <= 2
+
+    def test_estimate_close_to_opt(self):
+        instance = topic_coverage_instance(400, 30, communities=2, seed=9)
+        algorithm = StreamingMaxCoverage(k=2, epsilon=0.2, seed=5)
+        result = run_streaming_algorithm(
+            algorithm, instance.system, verify_solution=False
+        )
+        _, opt = exact_max_coverage(instance.system, 2)
+        assert result.estimated_value == pytest.approx(opt, rel=0.5)
+
+    def test_smaller_epsilon_uses_more_space(self):
+        instance = topic_coverage_instance(600, 30, communities=2, seed=9)
+        spaces = {}
+        for epsilon in (0.5, 0.15):
+            algorithm = StreamingMaxCoverage(k=2, epsilon=epsilon, seed=5)
+            result = run_streaming_algorithm(
+                algorithm, instance.system, verify_solution=False
+            )
+            spaces[epsilon] = result.space.peak_words
+        assert spaces[0.15] > spaces[0.5]
+
+    def test_sampling_rate_formula(self):
+        algorithm = StreamingMaxCoverage(k=3, epsilon=0.2, sampling_constant=2.0)
+        rate = algorithm.sampling_rate(universe_size=10 ** 6, num_sets=100)
+        import math
+
+        expected = 2.0 * 3 * math.log(100) / (0.04 * 10 ** 6)
+        assert rate == pytest.approx(expected)
+
+    def test_greedy_solver_runs(self):
+        instance = topic_coverage_instance(200, 25, communities=3, seed=2)
+        algorithm = StreamingMaxCoverage(k=3, epsilon=0.3, solver="greedy", seed=5)
+        result = run_streaming_algorithm(
+            algorithm, instance.system, verify_solution=False
+        )
+        assert len(result.solution) <= 3
+
+
+class TestBoundFormula:
+    def test_space_bound_grows_with_inverse_epsilon_squared(self):
+        loose = maxcover_space_bound_words(100, 2, 0.5)
+        tight = maxcover_space_bound_words(100, 2, 0.25)
+        assert tight == pytest.approx(4 * loose)

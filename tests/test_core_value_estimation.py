@@ -1,0 +1,75 @@
+"""Unit tests for the streaming opt-value estimators."""
+
+import pytest
+
+from repro.core.value_estimation import CountingBoundEstimator, SetCoverValueEstimator
+from repro.setcover.exact import exact_cover_value
+from repro.setcover.instance import SetSystem
+from repro.streaming.engine import run_streaming_algorithm
+from repro.workloads.random_instances import disjoint_blocks_instance, plant_cover_instance
+
+
+class TestSetCoverValueEstimator:
+    def test_estimate_within_guarantee(self, planted_instance):
+        opt = planted_instance.planted_opt
+        estimator = SetCoverValueEstimator(alpha=2, epsilon=0.5, opt_guess=opt, seed=1)
+        result = run_streaming_algorithm(
+            estimator, planted_instance.system, verify_solution=False
+        )
+        assert result.solution == []  # value-only output
+        assert opt <= result.estimated_value <= (2 + 0.5) * opt + opt
+
+    def test_estimate_without_opt_guess(self, planted_instance):
+        estimator = SetCoverValueEstimator(alpha=2, epsilon=0.5, seed=2)
+        result = run_streaming_algorithm(
+            estimator, planted_instance.system, verify_solution=False
+        )
+        opt = planted_instance.planted_opt
+        assert opt <= result.estimated_value <= 3 * opt + opt
+
+    def test_exact_on_disjoint_blocks(self):
+        instance = disjoint_blocks_instance(36, 6, seed=3)
+        estimator = SetCoverValueEstimator(alpha=2, epsilon=0.5, seed=3)
+        result = run_streaming_algorithm(
+            estimator, instance.system, verify_solution=False
+        )
+        assert result.estimated_value == 6
+
+    def test_metadata_and_space_propagated(self, planted_instance):
+        estimator = SetCoverValueEstimator(
+            alpha=2, epsilon=0.5, opt_guess=planted_instance.planted_opt, seed=4
+        )
+        result = run_streaming_algorithm(
+            estimator, planted_instance.system, verify_solution=False
+        )
+        assert result.metadata["witness_size"] == result.estimated_value
+        assert result.space.peak_words > 0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            SetCoverValueEstimator(alpha=0)
+
+
+class TestCountingBoundEstimator:
+    def test_single_pass_and_lower_bound(self, planted_instance):
+        estimator = CountingBoundEstimator()
+        result = run_streaming_algorithm(
+            estimator, planted_instance.system, verify_solution=False
+        )
+        assert result.passes == 1
+        assert result.estimated_value <= exact_cover_value(planted_instance.system)
+        assert result.space.peak_words <= 2
+
+    def test_uncoverable_instance_gives_infinity(self):
+        system = SetSystem(3, [[]])
+        result = run_streaming_algorithm(
+            CountingBoundEstimator(), system, verify_solution=False
+        )
+        assert result.estimated_value == float("inf")
+
+    def test_exact_on_partition(self):
+        instance = disjoint_blocks_instance(40, 4, seed=5)
+        result = run_streaming_algorithm(
+            CountingBoundEstimator(), instance.system, verify_solution=False
+        )
+        assert result.estimated_value == 4

@@ -1,0 +1,114 @@
+"""Unit tests for the exact entropy / mutual information computations."""
+
+import math
+
+import pytest
+
+from repro.infotheory.distributions import JointDistribution
+from repro.infotheory.entropy import (
+    conditional_entropy,
+    conditional_mutual_information,
+    entropy,
+    mutual_information,
+)
+from repro.infotheory.estimators import (
+    plugin_entropy,
+    plugin_mutual_information,
+)
+
+
+@pytest.fixture
+def fair_coin_pair():
+    """Independent fair bits A and B."""
+    pmf = {(a, b): 0.25 for a in (0, 1) for b in (0, 1)}
+    return JointDistribution(["A", "B"], pmf)
+
+
+@pytest.fixture
+def copied_bit():
+    """A fair bit A with B = A."""
+    return JointDistribution(["A", "B"], {(0, 0): 0.5, (1, 1): 0.5})
+
+
+class TestEntropy:
+    def test_fair_coin_entropy(self, fair_coin_pair):
+        assert entropy(fair_coin_pair, ["A"]) == pytest.approx(1.0)
+
+    def test_joint_entropy_of_independent(self, fair_coin_pair):
+        assert entropy(fair_coin_pair, ["A", "B"]) == pytest.approx(2.0)
+
+    def test_deterministic_variable_zero_entropy(self):
+        joint = JointDistribution(["X"], {(7,): 1.0})
+        assert entropy(joint, ["X"]) == pytest.approx(0.0)
+
+    def test_biased_coin(self):
+        joint = JointDistribution(["X"], {(0,): 0.9, (1,): 0.1})
+        expected = -(0.9 * math.log2(0.9) + 0.1 * math.log2(0.1))
+        assert entropy(joint, ["X"]) == pytest.approx(expected)
+
+
+class TestConditionalEntropy:
+    def test_independent_conditioning_no_effect(self, fair_coin_pair):
+        assert conditional_entropy(fair_coin_pair, ["A"], ["B"]) == pytest.approx(1.0)
+
+    def test_copy_conditioning_removes_entropy(self, copied_bit):
+        assert conditional_entropy(copied_bit, ["A"], ["B"]) == pytest.approx(0.0)
+
+    def test_empty_conditioning(self, fair_coin_pair):
+        assert conditional_entropy(fair_coin_pair, ["A"], []) == pytest.approx(1.0)
+
+
+class TestMutualInformation:
+    def test_independent_zero(self, fair_coin_pair):
+        assert mutual_information(fair_coin_pair, ["A"], ["B"]) == pytest.approx(0.0)
+
+    def test_copy_full_bit(self, copied_bit):
+        assert mutual_information(copied_bit, ["A"], ["B"]) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        pmf = {
+            (0, 0): 0.4,
+            (0, 1): 0.1,
+            (1, 0): 0.2,
+            (1, 1): 0.3,
+        }
+        joint = JointDistribution(["A", "B"], pmf)
+        assert mutual_information(joint, ["A"], ["B"]) == pytest.approx(
+            mutual_information(joint, ["B"], ["A"])
+        )
+
+
+class TestConditionalMutualInformation:
+    def test_xor_structure(self):
+        # C = A xor B with independent fair A, B: I(A:B) = 0 but I(A:B|C) = 1.
+        pmf = {(a, b, a ^ b): 0.25 for a in (0, 1) for b in (0, 1)}
+        joint = JointDistribution(["A", "B", "C"], pmf)
+        assert mutual_information(joint, ["A"], ["B"]) == pytest.approx(0.0)
+        assert conditional_mutual_information(joint, ["A"], ["B"], ["C"]) == pytest.approx(1.0)
+
+    def test_never_negative(self):
+        pmf = {
+            (0, 0, 0): 0.3,
+            (0, 1, 1): 0.2,
+            (1, 0, 1): 0.25,
+            (1, 1, 0): 0.25,
+        }
+        joint = JointDistribution(["A", "B", "C"], pmf)
+        assert conditional_mutual_information(joint, ["A"], ["B"], ["C"]) >= 0.0
+
+
+class TestPluginEstimators:
+    def test_plugin_entropy_matches_exact_for_balanced_sample(self):
+        samples = [0] * 500 + [1] * 500
+        assert plugin_entropy(samples) == pytest.approx(1.0)
+
+    def test_plugin_mi_detects_copy(self):
+        samples = [(x, x) for x in (0, 1)] * 200
+        assert plugin_mutual_information(samples) == pytest.approx(1.0)
+
+    def test_plugin_mi_near_zero_for_independent(self):
+        import random
+
+        rng = random.Random(5)
+        samples = [(rng.randint(0, 1), rng.randint(0, 1)) for _ in range(2000)]
+        assert plugin_mutual_information(samples) < 0.02

@@ -1,0 +1,80 @@
+"""Unit tests for the Lemma 2.2 machinery."""
+
+import pytest
+
+from repro.lowerbound.covering_lemma import (
+    coverage_shortfall_trial,
+    estimate_uncovered_probability,
+    expected_uncovered,
+    lemma_2_2_bound,
+    lemma_2_2_threshold,
+    run_sweep,
+)
+
+
+class TestFormulas:
+    def test_threshold_formula(self):
+        assert lemma_2_2_threshold(100, 100, 25, 2) == pytest.approx(
+            50 * (25 / 200) ** 2
+        )
+
+    def test_bound_formula_capped(self):
+        assert lemma_2_2_bound(100, 0, 25, 1) == pytest.approx(1.0)
+        assert lemma_2_2_bound(100, 100, 50, 1) < 1.0
+
+    def test_expected_uncovered(self):
+        assert expected_uncovered(100, 80, 25, 2) == pytest.approx(80 * 0.0625)
+
+    def test_invalid_universe(self):
+        with pytest.raises(ValueError):
+            lemma_2_2_threshold(0, 10, 1, 1)
+        with pytest.raises(ValueError):
+            lemma_2_2_bound(0, 10, 1, 1)
+        with pytest.raises(ValueError):
+            expected_uncovered(0, 10, 1, 1)
+
+
+class TestTrials:
+    def test_trial_counts_consistent(self):
+        trial = coverage_shortfall_trial(200, 200, 50, 2, seed=1)
+        assert 0 <= trial.uncovered_count <= 200
+        assert trial.below_threshold == (trial.uncovered_count < trial.threshold)
+
+    def test_k_zero_leaves_everything(self):
+        trial = coverage_shortfall_trial(100, 60, 20, 0, seed=2)
+        assert trial.uncovered_count == 60
+
+    def test_independent_drops_variant(self):
+        trial = coverage_shortfall_trial(150, 150, 30, 3, seed=3, independent_drops=True)
+        assert 0 <= trial.uncovered_count <= 150
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            coverage_shortfall_trial(100, 50, 0, 1)
+        with pytest.raises(ValueError):
+            coverage_shortfall_trial(100, 500, 10, 1)
+        with pytest.raises(ValueError):
+            coverage_shortfall_trial(100, 50, 10, -1)
+
+    def test_more_sets_cover_more(self):
+        few = coverage_shortfall_trial(400, 400, 100, 1, seed=4)
+        many = coverage_shortfall_trial(400, 400, 100, 6, seed=4)
+        assert many.uncovered_count <= few.uncovered_count
+
+
+class TestEstimates:
+    def test_failure_probability_within_lemma_bound(self):
+        # The empirical probability of the shortfall event must not exceed the
+        # proved bound by more than sampling noise.
+        empirical = estimate_uncovered_probability(300, 300, 75, 2, trials=100, seed=5)
+        bound = lemma_2_2_bound(300, 300, 75, 2)
+        assert empirical <= bound + 0.05
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            estimate_uncovered_probability(100, 100, 10, 1, trials=0)
+
+    def test_sweep_rows(self):
+        rows = run_sweep(200, 200, 50, [1, 2], trials=20, seed=6)
+        assert len(rows) == 2
+        assert {"k", "empirical_failure", "lemma_bound"} <= set(rows[0])

@@ -1,0 +1,90 @@
+"""Unit tests for the hard maximum coverage distribution D_MC."""
+
+import pytest
+
+from repro.exceptions import DistributionError
+from repro.lowerbound.dmc import DMCParameters, lemma_4_3_tau, sample_dmc
+from repro.lowerbound.properties import claim_4_4_bounds, dmc_value_gap
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture
+def params():
+    return DMCParameters(num_pairs=4, epsilon=0.35)
+
+
+class TestParameters:
+    def test_t1_t2_relation(self, params):
+        assert params.t2 == 10 * params.t1
+        assert params.universe_size == params.t1 + params.t2
+
+    def test_t1_formula(self):
+        assert DMCParameters(num_pairs=2, epsilon=0.5).t1 == 4
+        assert DMCParameters(num_pairs=2, epsilon=0.25).t1 == 16
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(DistributionError):
+            DMCParameters(num_pairs=2, epsilon=0.0)
+        with pytest.raises(DistributionError):
+            DMCParameters(num_pairs=2, epsilon=1.0)
+
+    def test_invalid_num_pairs(self):
+        with pytest.raises(DistributionError):
+            DMCParameters(num_pairs=0, epsilon=0.3)
+
+    def test_tau_formula(self, params):
+        a, b = params.resolved_set_sizes()
+        assert lemma_4_3_tau(params) == pytest.approx(
+            params.t2 + (a + b) / 2 + params.t1 / 4
+        )
+
+
+class TestSampling:
+    def test_shapes(self, params):
+        instance = sample_dmc(params, seed=1)
+        assert len(instance.alice_sets) == 4
+        assert len(instance.bob_sets) == 4
+        assert instance.set_system().num_sets == 8
+        assert instance.universe_size == params.universe_size
+
+    def test_theta_forced(self, params):
+        assert sample_dmc(params, seed=2, theta=0).theta == 0
+        assert sample_dmc(params, seed=2, theta=1).theta == 1
+
+    def test_invalid_theta(self, params):
+        with pytest.raises(DistributionError):
+            sample_dmc(params, seed=2, theta=5)
+
+    def test_u2_partitioned_per_pair(self, params):
+        # Claim 4.4(a): every matched pair covers all of U2.
+        instance = sample_dmc(params, seed=3)
+        t1, t2 = params.t1, params.t2
+        u2_mask = ((1 << (t1 + t2)) - 1) & ~((1 << t1) - 1)
+        for i in range(instance.num_pairs):
+            covered = instance.alice_sets[i] | instance.bob_sets[i]
+            assert covered & u2_mask == u2_mask
+
+    def test_ghd_gadgets_live_in_u1(self, params):
+        instance = sample_dmc(params, seed=4)
+        for pair in instance.ghd:
+            assert pair.alice <= frozenset(range(params.t1))
+            assert pair.bob <= frozenset(range(params.t1))
+
+    def test_value_gap_follows_theta(self, params):
+        rng = RandomSource(5)
+        for theta in (0, 1):
+            instance = sample_dmc(params, seed=rng.spawn(), theta=theta)
+            verdict = dmc_value_gap(instance)
+            assert verdict["on_correct_side"], verdict
+
+    def test_claim_4_4(self, params):
+        instance = sample_dmc(params, seed=6)
+        claims = claim_4_4_bounds(instance)
+        assert claims["matched_pairs_cover_u2"]
+        assert claims["mixed_pairs_below_bound"]
+
+    def test_communication_inputs(self, params):
+        instance = sample_dmc(params, seed=7)
+        alice, bob = instance.communication_inputs()
+        assert alice.num_sets == bob.num_sets == 4
+        assert alice.universe_size == instance.universe_size

@@ -1,0 +1,144 @@
+"""Unit tests for the hard set cover distribution D_SC."""
+
+import pytest
+
+from repro.exceptions import DistributionError
+from repro.lowerbound.dsc import (
+    DSCParameters,
+    sample_dsc,
+    sample_dsc_random_partition,
+)
+from repro.lowerbound.properties import (
+    check_remark_3_1,
+    good_index_fraction,
+    good_indices,
+)
+from repro.setcover.exact import exact_cover_value
+from repro.utils.bitset import bitset_size, universe_mask
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture
+def params():
+    return DSCParameters(universe_size=120, num_pairs=6, alpha=2, t=6)
+
+
+class TestParameters:
+    def test_resolved_t_default(self):
+        parameters = DSCParameters(universe_size=1024, num_pairs=64, alpha=2)
+        t = parameters.resolved_t()
+        assert 1 <= t <= 1024
+
+    def test_resolved_t_explicit(self, params):
+        assert params.resolved_t() == 6
+
+    def test_invalid_t(self):
+        with pytest.raises(DistributionError):
+            DSCParameters(universe_size=10, num_pairs=2, alpha=1, t=20).resolved_t()
+
+    def test_invalid_universe(self):
+        with pytest.raises(DistributionError):
+            DSCParameters(universe_size=1, num_pairs=2, alpha=1)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(DistributionError):
+            DSCParameters(universe_size=16, num_pairs=2, alpha=0)
+
+
+class TestSampling:
+    def test_shapes(self, params):
+        instance = sample_dsc(params, seed=1)
+        assert len(instance.alice_sets) == 6
+        assert len(instance.bob_sets) == 6
+        assert instance.set_system().num_sets == 12
+
+    def test_theta_forced(self, params):
+        assert sample_dsc(params, seed=2, theta=0).theta == 0
+        assert sample_dsc(params, seed=2, theta=1).theta == 1
+
+    def test_invalid_theta(self, params):
+        with pytest.raises(DistributionError):
+            sample_dsc(params, seed=2, theta=2)
+
+    def test_special_index_only_when_theta_one(self, params):
+        assert sample_dsc(params, seed=3, theta=0).special_index is None
+        assert sample_dsc(params, seed=3, theta=1).special_index is not None
+
+    def test_pair_union_structure(self, params):
+        # Remark 3.1-(iii): S_i ∪ T_i = [n] \ f_i(A_i ∩ B_i).
+        instance = sample_dsc(params, seed=4, theta=0)
+        full = universe_mask(instance.universe_size)
+        for i in range(instance.num_pairs):
+            pair = instance.disjointness[i]
+            mapping = instance.mappings[i]
+            expected = full & ~mapping.extend_mask(pair.intersection)
+            assert instance.pair_union_mask(i) == expected
+
+    def test_theta_one_special_pair_covers(self, params):
+        instance = sample_dsc(params, seed=5, theta=1)
+        special = instance.special_index
+        assert instance.pair_union_mask(special) == universe_mask(instance.universe_size)
+        assert instance.planted_opt == 2
+
+    def test_theta_zero_no_pair_covers(self, params):
+        instance = sample_dsc(params, seed=6, theta=0)
+        full = universe_mask(instance.universe_size)
+        for i in range(instance.num_pairs):
+            assert instance.pair_union_mask(i) != full
+
+    def test_exact_opt_gap_weak(self, params):
+        # θ=1 gives opt 2 (or 1 in degenerate cases); θ=0 gives opt > 2.
+        opt_theta1 = exact_cover_value(sample_dsc(params, seed=7, theta=1).set_system())
+        opt_theta0 = exact_cover_value(sample_dsc(params, seed=7, theta=0).set_system())
+        assert opt_theta1 <= 2
+        assert opt_theta0 > 2
+
+    def test_remark_checks_pass(self, params):
+        rng = RandomSource(8)
+        for theta in (0, 1):
+            instance = sample_dsc(params, seed=rng.spawn(), theta=theta)
+            checks = check_remark_3_1(instance)
+            assert all(check.holds for check in checks), [
+                (c.name, c.detail) for c in checks if not c.holds
+            ]
+
+    def test_set_sizes_not_trivial(self, params):
+        instance = sample_dsc(params, seed=9)
+        sizes = [bitset_size(m) for m in instance.alice_sets + instance.bob_sets]
+        n = instance.universe_size
+        assert all(0 < size <= n for size in sizes)
+
+    def test_communication_inputs_split(self, params):
+        instance = sample_dsc(params, seed=10)
+        alice, bob = instance.communication_inputs()
+        assert alice.num_sets == instance.num_pairs
+        assert bob.num_sets == instance.num_pairs
+        assert set(alice.sets) == set(range(instance.num_pairs))
+        assert set(bob.sets) == set(
+            range(instance.num_pairs, 2 * instance.num_pairs)
+        )
+
+
+class TestRandomPartition:
+    def test_partition_covers_all_sets(self, params):
+        instance, alice, bob, assignment = sample_dsc_random_partition(params, seed=11)
+        assert len(assignment) == 2 * instance.num_pairs
+        assert set(alice.sets) | set(bob.sets) == set(assignment)
+        assert not (set(alice.sets) & set(bob.sets))
+
+    def test_good_indices_definition(self, params):
+        instance, _alice, _bob, assignment = sample_dsc_random_partition(params, seed=12)
+        for index in good_indices(assignment, instance.num_pairs):
+            assert assignment[index] != assignment[index + instance.num_pairs]
+
+    def test_good_fraction_concentrates_near_half(self):
+        parameters = DSCParameters(universe_size=64, num_pairs=40, alpha=2, t=4)
+        rng = RandomSource(13)
+        fractions = [
+            good_index_fraction(
+                sample_dsc_random_partition(parameters, seed=rng.spawn())[3], 40
+            )
+            for _ in range(20)
+        ]
+        mean = sum(fractions) / len(fractions)
+        assert 0.4 <= mean <= 0.6

@@ -1,0 +1,110 @@
+"""Unit tests for the D_SC / D_MC property verifiers."""
+
+import pytest
+
+from repro.lowerbound.dmc import DMCParameters, sample_dmc
+from repro.lowerbound.dsc import DSCParameters, sample_dsc
+from repro.lowerbound.properties import (
+    check_remark_3_1,
+    claim_4_4_bounds,
+    dmc_value_gap,
+    dsc_opt_gap,
+    good_index_fraction,
+    good_indices,
+    singleton_collection_coverage,
+)
+
+
+@pytest.fixture
+def dsc_params():
+    return DSCParameters(universe_size=150, num_pairs=5, alpha=2, t=6)
+
+
+@pytest.fixture
+def dmc_params():
+    return DMCParameters(num_pairs=3, epsilon=0.4)
+
+
+class TestDscOptGap:
+    def test_theta_one_opt_two(self, dsc_params):
+        instance = sample_dsc(dsc_params, seed=1, theta=1)
+        verdict = dsc_opt_gap(instance)
+        assert verdict["opt"] <= 2
+        assert verdict["respects_gap"]
+        assert verdict["respects_weak_gap"]
+
+    def test_theta_zero_weak_gap(self, dsc_params):
+        instance = sample_dsc(dsc_params, seed=2, theta=0)
+        verdict = dsc_opt_gap(instance)
+        assert verdict["opt"] > 2
+        assert verdict["respects_weak_gap"]
+
+    def test_solution_is_reported(self, dsc_params):
+        instance = sample_dsc(dsc_params, seed=3, theta=1)
+        verdict = dsc_opt_gap(instance)
+        assert len(verdict["solution"]) == verdict["opt"]
+
+    def test_alpha_override(self, dsc_params):
+        instance = sample_dsc(dsc_params, seed=4, theta=0)
+        verdict = dsc_opt_gap(instance, alpha=1)
+        assert verdict["alpha"] == 1
+
+
+class TestRemarkChecks:
+    def test_all_checks_named(self, dsc_params):
+        instance = sample_dsc(dsc_params, seed=5, theta=0)
+        checks = check_remark_3_1(instance)
+        assert len(checks) == 3
+        assert all(check.name for check in checks)
+
+    def test_theta_one_extra_check(self, dsc_params):
+        instance = sample_dsc(dsc_params, seed=6, theta=1)
+        names = [check.name for check in check_remark_3_1(instance)]
+        assert any("θ=1" in name for name in names)
+
+
+class TestSingletonCoverage:
+    def test_singletons_do_not_cover_universe(self, dsc_params):
+        instance = sample_dsc(dsc_params, seed=7, theta=0)
+        covered = singleton_collection_coverage(instance, size=3)
+        assert covered < instance.universe_size
+
+    def test_zero_size(self, dsc_params):
+        instance = sample_dsc(dsc_params, seed=8, theta=0)
+        assert singleton_collection_coverage(instance, size=0) == 0
+
+
+class TestDmcProperties:
+    def test_value_gap_both_thetas(self, dmc_params):
+        for theta in (0, 1):
+            instance = sample_dmc(dmc_params, seed=9 + theta, theta=theta)
+            verdict = dmc_value_gap(instance)
+            assert verdict["on_correct_side"]
+
+    def test_best_two_cover_is_matched_pair(self, dmc_params):
+        instance = sample_dmc(dmc_params, seed=11, theta=1)
+        verdict = dmc_value_gap(instance)
+        assert verdict["is_matched_pair"]
+
+    def test_claim_4_4_keys(self, dmc_params):
+        instance = sample_dmc(dmc_params, seed=12)
+        claims = claim_4_4_bounds(instance)
+        assert set(claims) == {
+            "matched_pairs_cover_u2",
+            "mixed_pairs_below_bound",
+            "mixed_bound",
+            "worst_mixed_coverage",
+        }
+
+
+class TestGoodIndices:
+    def test_counts_split_pairs_only(self):
+        assignment = {0: "alice", 1: "alice", 2: "alice", 3: "bob", 4: "bob", 5: "alice"}
+        # Pairs: (0,3), (1,4), (2,5) with m = 3.
+        good = good_indices(assignment, 3)
+        assert good == [0, 1]
+        assert good_index_fraction(assignment, 3) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert good_indices({}, 0) == []
+        assert good_index_fraction({}, 0) == 0.0

@@ -1,0 +1,148 @@
+"""Unit tests for the Lemma 3.4 / 4.5 reduction protocols."""
+
+import pytest
+
+from repro.communication.protocols.maxcover_protocol import FullExchangeMaxCoverProtocol
+from repro.communication.protocols.setcover_protocol import FullExchangeSetCoverProtocol
+from repro.lowerbound.dmc import DMCParameters
+from repro.lowerbound.dsc import DSCParameters
+from repro.lowerbound.reduction import (
+    DisjViaSetCoverProtocol,
+    GHDViaMaxCoverProtocol,
+    evaluate_disj_reduction,
+    evaluate_ghd_reduction,
+)
+from repro.problems.disjointness import sample_ddisj, sample_ddisj_no, sample_ddisj_yes
+from repro.problems.ghd import sample_dghd_no, sample_dghd_yes
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture
+def dsc_params():
+    # Explicit t large enough that the embedded sets concentrate.
+    return DSCParameters(universe_size=180, num_pairs=4, alpha=2, t=18)
+
+
+@pytest.fixture
+def dmc_params():
+    return DMCParameters(num_pairs=3, epsilon=0.35)
+
+
+class TestDisjReduction:
+    def test_disjoint_inputs_answered_yes(self, dsc_params):
+        rng = RandomSource(1)
+        reduction = DisjViaSetCoverProtocol(
+            FullExchangeSetCoverProtocol(solver="exact"),
+            dsc_params,
+            seed=rng.spawn(),
+            decision_threshold=2,
+        )
+        t = dsc_params.resolved_t()
+        for _ in range(4):
+            instance = sample_ddisj_yes(t, seed=rng.spawn())
+            assert reduction.execute(instance.alice, instance.bob).output == "Yes"
+
+    def test_intersecting_inputs_answered_no(self, dsc_params):
+        rng = RandomSource(2)
+        reduction = DisjViaSetCoverProtocol(
+            FullExchangeSetCoverProtocol(solver="exact"),
+            dsc_params,
+            seed=rng.spawn(),
+            decision_threshold=2,
+        )
+        t = dsc_params.resolved_t()
+        for _ in range(4):
+            instance = sample_ddisj_no(t, seed=rng.spawn())
+            assert reduction.execute(instance.alice, instance.bob).output == "No"
+
+    def test_default_threshold_is_two_alpha(self, dsc_params):
+        reduction = DisjViaSetCoverProtocol(
+            FullExchangeSetCoverProtocol(), dsc_params, seed=1
+        )
+        assert reduction.decision_threshold == 2 * dsc_params.alpha
+
+    def test_transcript_metadata(self, dsc_params):
+        rng = RandomSource(3)
+        reduction = DisjViaSetCoverProtocol(
+            FullExchangeSetCoverProtocol(solver="exact"),
+            dsc_params,
+            seed=rng.spawn(),
+            decision_threshold=2,
+        )
+        instance = sample_ddisj(dsc_params.resolved_t(), seed=rng.spawn())
+        transcript = reduction.execute(instance.alice, instance.bob)
+        record = transcript.metadata["embedding"]
+        assert 0 <= record.special_index < dsc_params.num_pairs
+        assert record.answer in ("Yes", "No")
+        assert transcript.total_bits > 0
+
+    def test_evaluate_helper(self, dsc_params):
+        rng = RandomSource(4)
+        reduction = DisjViaSetCoverProtocol(
+            FullExchangeSetCoverProtocol(solver="exact"),
+            dsc_params,
+            seed=rng.spawn(),
+            decision_threshold=2,
+        )
+        instances = [
+            sample_ddisj(dsc_params.resolved_t(), seed=rng.spawn()) for _ in range(6)
+        ]
+        error, bits = evaluate_disj_reduction(reduction, instances)
+        assert error <= 1 / 6
+        assert bits > 0
+
+    def test_evaluate_requires_instances(self, dsc_params):
+        reduction = DisjViaSetCoverProtocol(
+            FullExchangeSetCoverProtocol(), dsc_params, seed=1
+        )
+        with pytest.raises(ValueError):
+            evaluate_disj_reduction(reduction, [])
+
+
+class TestGHDReduction:
+    def test_yes_instances(self, dmc_params):
+        rng = RandomSource(5)
+        reduction = GHDViaMaxCoverProtocol(
+            FullExchangeMaxCoverProtocol(k=2, solver="exact"),
+            dmc_params,
+            seed=rng.spawn(),
+        )
+        a, b = dmc_params.resolved_set_sizes()
+        for _ in range(3):
+            instance = sample_dghd_yes(dmc_params.t1, a, b, seed=rng.spawn())
+            assert reduction.execute(instance.alice, instance.bob).output == "Yes"
+
+    def test_no_instances(self, dmc_params):
+        rng = RandomSource(6)
+        reduction = GHDViaMaxCoverProtocol(
+            FullExchangeMaxCoverProtocol(k=2, solver="exact"),
+            dmc_params,
+            seed=rng.spawn(),
+        )
+        a, b = dmc_params.resolved_set_sizes()
+        for _ in range(3):
+            instance = sample_dghd_no(dmc_params.t1, a, b, seed=rng.spawn())
+            assert reduction.execute(instance.alice, instance.bob).output == "No"
+
+    def test_evaluate_helper(self, dmc_params):
+        rng = RandomSource(7)
+        reduction = GHDViaMaxCoverProtocol(
+            FullExchangeMaxCoverProtocol(k=2, solver="exact"),
+            dmc_params,
+            seed=rng.spawn(),
+        )
+        a, b = dmc_params.resolved_set_sizes()
+        instances = [
+            sample_dghd_yes(dmc_params.t1, a, b, seed=rng.spawn()),
+            sample_dghd_no(dmc_params.t1, a, b, seed=rng.spawn()),
+        ]
+        error, bits = evaluate_ghd_reduction(reduction, instances)
+        assert error == 0.0
+        assert bits > 0
+
+    def test_evaluate_requires_instances(self, dmc_params):
+        reduction = GHDViaMaxCoverProtocol(
+            FullExchangeMaxCoverProtocol(k=2), dmc_params, seed=1
+        )
+        with pytest.raises(ValueError):
+            evaluate_ghd_reduction(reduction, [])

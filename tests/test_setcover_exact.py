@@ -1,0 +1,76 @@
+"""Unit tests for the exact set cover solvers."""
+
+import pytest
+
+from repro.exceptions import InfeasibleInstanceError
+from repro.setcover.exact import (
+    brute_force_set_cover,
+    exact_cover_of_elements,
+    exact_cover_value,
+    exact_set_cover,
+)
+from repro.setcover.instance import SetSystem
+from repro.setcover.verify import is_feasible_cover
+from repro.workloads.random_instances import random_instance
+
+
+class TestExactBasics:
+    def test_optimal_on_tiny(self, tiny_system):
+        assert exact_cover_value(tiny_system) == 2
+
+    def test_beats_greedy_gadget(self, chain_system):
+        assert exact_cover_value(chain_system) == 2
+
+    def test_solution_is_feasible(self, tiny_system):
+        solution = exact_set_cover(tiny_system)
+        assert is_feasible_cover(tiny_system, solution)
+
+    def test_single_set_cover(self):
+        system = SetSystem(4, [[0, 1, 2, 3], [0], [1]])
+        assert exact_cover_value(system) == 1
+
+    def test_empty_target(self, tiny_system):
+        assert exact_set_cover(tiny_system, target_mask=0) == []
+
+    def test_infeasible_raises(self):
+        system = SetSystem(3, [[0], [1]])
+        with pytest.raises(InfeasibleInstanceError):
+            exact_set_cover(system)
+
+    def test_target_mask_partial(self, tiny_system):
+        solution = exact_set_cover(tiny_system, target_mask=0b000011)
+        assert len(solution) == 1
+
+    def test_exact_cover_of_elements(self, tiny_system):
+        solution = exact_cover_of_elements(tiny_system, [0, 3])
+        covered = tiny_system.coverage_mask(solution)
+        assert covered & 0b001001 == 0b001001
+        assert len(solution) <= 2
+
+
+class TestAgainstBruteForce:
+    def test_matches_brute_force_on_random_instances(self):
+        for seed in range(6):
+            instance = random_instance(universe_size=10, num_sets=7, seed=seed)
+            bb = exact_cover_value(instance.system)
+            bf = len(brute_force_set_cover(instance.system))
+            assert bb == bf, f"seed {seed}: branch-and-bound {bb} != brute force {bf}"
+
+    def test_matches_brute_force_on_handmade(self, tiny_system, chain_system):
+        for system in (tiny_system, chain_system):
+            assert exact_cover_value(system) == len(brute_force_set_cover(system))
+
+    def test_brute_force_infeasible(self):
+        with pytest.raises(InfeasibleInstanceError):
+            brute_force_set_cover(SetSystem(2, [[0]]))
+
+
+class TestPlantedOptimum:
+    def test_planted_cover_is_optimal(self, planted_instance):
+        assert exact_cover_value(planted_instance.system) == planted_instance.planted_opt
+
+    def test_disjoint_blocks_opt(self):
+        from repro.workloads.random_instances import disjoint_blocks_instance
+
+        instance = disjoint_blocks_instance(30, 5, seed=3)
+        assert exact_cover_value(instance.system) == 5

@@ -1,0 +1,54 @@
+"""Unit tests for the fractional / counting lower bounds."""
+
+import pytest
+
+from repro.setcover.exact import exact_cover_value
+from repro.setcover.fractional import (
+    counting_lower_bound,
+    fractional_greedy_lower_bound,
+    lp_relaxation_value,
+)
+from repro.setcover.instance import SetSystem
+
+
+class TestCountingLowerBound:
+    def test_simple_bound(self, tiny_system):
+        # Largest set has 4 elements and the universe has 6: bound is 2.
+        assert counting_lower_bound(tiny_system) == 2
+
+    def test_bound_never_exceeds_opt(self, planted_instance):
+        bound = counting_lower_bound(planted_instance.system)
+        assert bound <= exact_cover_value(planted_instance.system)
+
+    def test_empty_target(self, tiny_system):
+        assert counting_lower_bound(tiny_system, target_mask=0) == 0
+
+    def test_uncoverable_target_rejected(self):
+        system = SetSystem(3, [[0]])
+        with pytest.raises(ValueError):
+            counting_lower_bound(system)
+
+
+class TestFractionalGreedyLowerBound:
+    def test_matches_counting_shape(self, tiny_system):
+        assert fractional_greedy_lower_bound(tiny_system) == pytest.approx(6 / 4)
+
+    def test_empty_universe(self):
+        assert fractional_greedy_lower_bound(SetSystem(0, [])) == 0.0
+
+    def test_no_sets_is_infinite(self):
+        assert fractional_greedy_lower_bound(SetSystem(3, [[]])) == float("inf")
+
+
+class TestLpRelaxation:
+    def test_lower_bounds_integral_opt_up_to_tolerance(self, tiny_system):
+        value = lp_relaxation_value(tiny_system)
+        # The MWU scheme converges approximately; it must be positive and not
+        # wildly exceed opt.
+        assert 0 < value <= exact_cover_value(tiny_system) + 1.0
+
+    def test_uncoverable_is_infinite(self):
+        assert lp_relaxation_value(SetSystem(2, [[0]])) == float("inf")
+
+    def test_empty_universe(self):
+        assert lp_relaxation_value(SetSystem(0, [])) == 0.0

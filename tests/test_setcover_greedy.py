@@ -1,0 +1,74 @@
+"""Unit tests for the offline greedy set cover algorithm."""
+
+import pytest
+
+from repro.exceptions import InfeasibleInstanceError
+from repro.setcover.greedy import greedy_cover_trace, greedy_set_cover
+from repro.setcover.instance import SetSystem
+from repro.setcover.verify import is_feasible_cover
+
+
+class TestGreedyCorrectness:
+    def test_covers_universe(self, tiny_system):
+        solution = greedy_set_cover(tiny_system)
+        assert is_feasible_cover(tiny_system, solution)
+
+    def test_finds_small_cover_on_tiny(self, tiny_system):
+        # Greedy should find the 2-set partition here (both halves size 3 > others).
+        solution = greedy_set_cover(tiny_system)
+        assert len(solution) <= 3
+
+    def test_greedy_can_be_suboptimal(self, chain_system):
+        solution = greedy_set_cover(chain_system)
+        assert is_feasible_cover(chain_system, solution)
+        assert len(solution) == 3  # bait set + two singletons; opt is 2
+
+    def test_infeasible_raises(self):
+        system = SetSystem(4, [[0, 1], [2]])
+        with pytest.raises(InfeasibleInstanceError):
+            greedy_set_cover(system)
+
+    def test_empty_universe_needs_nothing(self):
+        system = SetSystem(0, [[]])
+        assert greedy_set_cover(system) == []
+
+    def test_required_mask_restricts_target(self, tiny_system):
+        # Only cover elements {0, 1, 2}; a single set suffices.
+        solution = greedy_set_cover(tiny_system, required_mask=0b000111)
+        assert len(solution) == 1
+        assert tiny_system.coverage_mask(solution) & 0b000111 == 0b000111
+
+    def test_no_duplicate_choices(self, planted_instance):
+        solution = greedy_set_cover(planted_instance.system)
+        assert len(solution) == len(set(solution))
+
+
+class TestGreedyTrace:
+    def test_trace_steps_match_solution(self, tiny_system):
+        trace = greedy_cover_trace(tiny_system)
+        assert [step.chosen_set for step in trace.steps] == trace.solution
+        assert trace.size == len(trace.solution)
+
+    def test_trace_monotone_uncovered(self, planted_instance):
+        trace = greedy_cover_trace(planted_instance.system)
+        remaining = [step.remaining_uncovered for step in trace.steps]
+        assert remaining == sorted(remaining, reverse=True)
+        assert remaining[-1] == 0
+
+    def test_newly_covered_positive(self, planted_instance):
+        trace = greedy_cover_trace(planted_instance.system)
+        assert all(step.newly_covered > 0 for step in trace.steps)
+
+    def test_max_sets_cap(self, chain_system):
+        with pytest.raises(InfeasibleInstanceError):
+            greedy_cover_trace(chain_system, max_sets=1)
+
+
+class TestGreedyApproximation:
+    def test_ln_n_guarantee_on_planted(self, planted_instance):
+        import math
+
+        solution = greedy_set_cover(planted_instance.system)
+        opt = planted_instance.planted_opt
+        bound = opt * (math.log(planted_instance.universe_size) + 1)
+        assert len(solution) <= bound

@@ -1,0 +1,139 @@
+"""Unit tests for SetSystem / SetCoverInstance."""
+
+import pytest
+
+from repro.exceptions import InfeasibleInstanceError
+from repro.setcover.instance import SetCoverInstance, SetSystem
+
+
+class TestConstruction:
+    def test_basic_sizes(self, tiny_system):
+        assert tiny_system.universe_size == 6
+        assert tiny_system.num_sets == 6
+        assert len(tiny_system) == 6
+
+    def test_elements_round_trip(self, tiny_system):
+        assert tiny_system.elements(0) == frozenset({0, 1, 2})
+        assert tiny_system[1] == frozenset({3, 4, 5})
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(ValueError):
+            SetSystem(3, [[0, 5]])
+
+    def test_negative_universe_rejected(self):
+        with pytest.raises(ValueError):
+            SetSystem(-1, [])
+
+    def test_names_default(self, tiny_system):
+        assert tiny_system.name(0) == "S0"
+        assert tiny_system.name(5) == "S5"
+
+    def test_names_custom(self):
+        system = SetSystem(2, [[0], [1]], names=["left", "right"])
+        assert system.names == ["left", "right"]
+
+    def test_names_wrong_length(self):
+        with pytest.raises(ValueError):
+            SetSystem(2, [[0], [1]], names=["only-one"])
+
+    def test_from_masks(self):
+        system = SetSystem.from_masks(4, [0b0011, 0b1100])
+        assert system.elements(0) == frozenset({0, 1})
+        assert system.elements(1) == frozenset({2, 3})
+
+    def test_from_masks_out_of_range(self):
+        with pytest.raises(ValueError):
+            SetSystem.from_masks(2, [0b100])
+
+    def test_equality_and_hash(self):
+        a = SetSystem(3, [[0], [1, 2]])
+        b = SetSystem(3, [[0], [1, 2]])
+        c = SetSystem(3, [[0], [1]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_iteration(self, tiny_system):
+        sets = list(tiny_system)
+        assert sets[2] == frozenset({0, 3})
+        assert len(sets) == 6
+
+
+class TestCoverage:
+    def test_coverage_counts(self, tiny_system):
+        assert tiny_system.coverage([0]) == 3
+        assert tiny_system.coverage([0, 1]) == 6
+        assert tiny_system.coverage([]) == 0
+
+    def test_covers_universe(self, tiny_system):
+        assert tiny_system.covers_universe([0, 1])
+        assert not tiny_system.covers_universe([0])
+        assert not tiny_system.covers_universe([])
+
+    def test_empty_universe_covered_by_nothing(self):
+        system = SetSystem(0, [])
+        assert system.covers_universe([])
+
+    def test_uncovered_mask(self, tiny_system):
+        missing = tiny_system.uncovered_mask([0])
+        assert missing == 0b111000
+
+    def test_element_frequencies(self, tiny_system):
+        freqs = tiny_system.element_frequencies()
+        assert len(freqs) == 6
+        assert freqs[0] == 3  # element 0 in sets 0, 2, 5
+
+    def test_is_coverable(self, tiny_system):
+        assert tiny_system.is_coverable()
+        assert not SetSystem(3, [[0], [1]]).is_coverable()
+
+    def test_incidence_count(self, tiny_system):
+        assert tiny_system.incidence_count() == 3 + 3 + 2 + 2 + 2 + 4
+
+
+class TestTransformations:
+    def test_restrict_to_elements(self, tiny_system):
+        projected = tiny_system.restrict_to_elements([0, 3])
+        assert projected.universe_size == 6
+        assert projected.elements(0) == frozenset({0})
+        assert projected.elements(2) == frozenset({0, 3})
+
+    def test_subsystem(self, tiny_system):
+        sub = tiny_system.subsystem([1, 3])
+        assert sub.num_sets == 2
+        assert sub.elements(0) == frozenset({3, 4, 5})
+        assert sub.names == ["S1", "S3"]
+
+    def test_permuted(self, tiny_system):
+        permuted = tiny_system.permuted([5, 4, 3, 2, 1, 0])
+        assert permuted.elements(0) == tiny_system.elements(5)
+
+    def test_permuted_invalid(self, tiny_system):
+        with pytest.raises(ValueError):
+            tiny_system.permuted([0, 0, 1, 2, 3, 4])
+
+    def test_dict_round_trip(self, tiny_system):
+        payload = tiny_system.to_dict()
+        rebuilt = SetSystem.from_dict(payload)
+        assert rebuilt == tiny_system
+
+
+class TestSetCoverInstance:
+    def test_planted_opt_recorded(self, tiny_system):
+        instance = SetCoverInstance(tiny_system, planted_opt=2)
+        assert instance.planted_opt == 2
+        assert instance.approximation_ratio(4) == 2.0
+
+    def test_unknown_opt_gives_none_ratio(self, tiny_system):
+        instance = SetCoverInstance(tiny_system)
+        assert instance.approximation_ratio(4) is None
+
+    def test_invalid_planted_opt(self, tiny_system):
+        with pytest.raises(ValueError):
+            SetCoverInstance(tiny_system, planted_opt=0)
+
+    def test_require_coverable(self, tiny_system):
+        SetCoverInstance(tiny_system).require_coverable()
+        bad = SetCoverInstance(SetSystem(3, [[0]]))
+        with pytest.raises(InfeasibleInstanceError):
+            bad.require_coverable()

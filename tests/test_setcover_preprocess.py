@@ -1,0 +1,97 @@
+"""Unit tests for set cover preprocessing reductions."""
+
+import pytest
+
+from repro.setcover.exact import exact_cover_value, exact_set_cover
+from repro.setcover.instance import SetSystem
+from repro.setcover.preprocess import (
+    find_dominated_sets,
+    find_forced_picks,
+    preprocess,
+    remove_empty_sets,
+)
+from repro.setcover.verify import verify_cover
+from repro.workloads.random_instances import random_instance
+
+
+class TestBasicReductions:
+    def test_remove_empty_sets(self):
+        system = SetSystem(4, [[0, 1], [], [2, 3], []])
+        assert remove_empty_sets(system) == [0, 2]
+
+    def test_find_dominated(self):
+        system = SetSystem(5, [[0, 1, 2, 3], [1, 2], [4], [0, 1, 2]])
+        dominated = find_dominated_sets(system)
+        assert dominated == {1, 3}
+
+    def test_duplicate_sets_keep_one(self):
+        system = SetSystem(3, [[0, 1], [0, 1], [2]])
+        dominated = find_dominated_sets(system)
+        assert len(dominated) == 1
+
+    def test_find_forced_picks(self):
+        system = SetSystem(4, [[0, 1], [1, 2], [1, 3]])
+        target = system.uncovered_mask([])
+        forced = find_forced_picks(system, [0, 1, 2], target)
+        # Elements 0, 2 and 3 each have a unique coverer; element 1 does not.
+        assert forced == {0, 1, 2}
+
+    def test_find_forced_picks_none(self):
+        system = SetSystem(2, [[0, 1], [0, 1]])
+        target = system.uncovered_mask([])
+        assert find_forced_picks(system, [0, 1], target) == set()
+
+
+class TestPreprocess:
+    def test_forced_and_dominated_recorded(self):
+        system = SetSystem(
+            6,
+            [
+                [0, 1, 2],      # forced: unique coverer of 0
+                [1, 2],         # dominated by set 0 (on the residual)
+                [3, 4, 5],      # forced: unique coverer of 3 (and 5)
+                [4],            # dominated by set 2
+            ],
+        )
+        result = preprocess(system)
+        assert set(result.forced_picks) == {0, 2}
+        assert result.residual_target_mask == 0
+
+    def test_lift_solution_covers_original(self):
+        for seed in range(4):
+            instance = random_instance(30, 12, seed=seed)
+            result = preprocess(instance.system)
+            if result.residual_target_mask == 0:
+                lifted = result.lift_solution([])
+            else:
+                reduced_solution = exact_set_cover(
+                    result.system, target_mask=result.residual_target_mask
+                )
+                lifted = result.lift_solution(reduced_solution)
+            verify_cover(instance.system, lifted)
+
+    def test_preprocessing_preserves_optimum(self):
+        for seed in range(4):
+            instance = random_instance(20, 10, seed=seed)
+            original_opt = exact_cover_value(instance.system)
+            result = preprocess(instance.system)
+            if result.residual_target_mask == 0:
+                reduced_solution = []
+            else:
+                reduced_solution = exact_set_cover(
+                    result.system, target_mask=result.residual_target_mask
+                )
+            lifted = result.lift_solution(reduced_solution)
+            assert len(lifted) == original_opt
+
+    def test_empty_sets_never_kept(self):
+        system = SetSystem(3, [[0, 1, 2], [], []])
+        result = preprocess(system)
+        assert all(i != 1 and i != 2 for i in result.kept_indices)
+
+    def test_no_reduction_needed(self):
+        # Disjoint sets: nothing dominated, everything forced.
+        system = SetSystem(4, [[0, 1], [2, 3]])
+        result = preprocess(system)
+        assert set(result.forced_picks) == {0, 1}
+        assert result.residual_target_mask == 0

@@ -1,0 +1,74 @@
+"""Unit tests for the multi-pass engine."""
+
+import pytest
+
+from repro.exceptions import PassBudgetExceededError
+from repro.baselines.saha_getoor import SahaGetoorGreedy
+from repro.baselines.full_storage import StoreEverythingSetCover
+from repro.streaming.engine import EngineConfig, MultiPassEngine, run_streaming_algorithm
+from repro.streaming.stream import StreamOrder
+
+
+class TestEngineRuns:
+    def test_runs_and_verifies(self, planted_instance):
+        result = run_streaming_algorithm(SahaGetoorGreedy(), planted_instance.system)
+        assert result.passes == 1
+        assert result.solution_size >= planted_instance.planted_opt
+
+    def test_pass_budget_enforced(self, planted_instance):
+        algorithm = StoreEverythingSetCover()
+        with pytest.raises(PassBudgetExceededError):
+            run_streaming_algorithm(
+                algorithm, planted_instance.system, pass_budget=0
+            )
+
+    def test_verification_failure_raises(self, tiny_system):
+        class BadAlgorithm(SahaGetoorGreedy):
+            def run(self, stream):
+                result = super().run(stream)
+                result.solution = result.solution[:1]  # break the cover
+                return result
+
+        with pytest.raises(ValueError):
+            run_streaming_algorithm(BadAlgorithm(), tiny_system)
+
+    def test_verification_can_be_disabled(self, tiny_system):
+        class BadAlgorithm(SahaGetoorGreedy):
+            def run(self, stream):
+                result = super().run(stream)
+                result.solution = result.solution[:1]
+                return result
+
+        result = run_streaming_algorithm(
+            BadAlgorithm(), tiny_system, verify_solution=False
+        )
+        assert result.solution_size == 1
+
+    def test_random_order_seeded(self, planted_instance):
+        result_a = run_streaming_algorithm(
+            SahaGetoorGreedy(),
+            planted_instance.system,
+            order=StreamOrder.RANDOM,
+            seed=4,
+        )
+        result_b = run_streaming_algorithm(
+            SahaGetoorGreedy(),
+            planted_instance.system,
+            order=StreamOrder.RANDOM,
+            seed=4,
+        )
+        assert result_a.solution == result_b.solution
+
+
+class TestEngineConfig:
+    def test_engine_reusable(self, planted_instance, small_random_instance):
+        engine = MultiPassEngine(EngineConfig())
+        first = engine.run(SahaGetoorGreedy(), planted_instance.system)
+        second = engine.run(SahaGetoorGreedy(), small_random_instance.system)
+        assert first.solution_size > 0
+        assert second.solution_size > 0
+
+    def test_result_metadata_present(self, planted_instance):
+        result = run_streaming_algorithm(SahaGetoorGreedy(), planted_instance.system)
+        assert "uncovered_after_run" in result.metadata
+        assert result.metadata["uncovered_after_run"] == 0

@@ -1,0 +1,93 @@
+"""Unit tests for the space meter."""
+
+import pytest
+
+from repro.exceptions import SpaceBudgetExceededError
+from repro.streaming.space import SpaceMeter
+
+
+class TestBasicAccounting:
+    def test_charge_and_current(self):
+        meter = SpaceMeter()
+        meter.charge("a", 10)
+        meter.charge("b", 5)
+        assert meter.current_words == 15
+        assert meter.usage("a") == 10
+
+    def test_peak_tracks_maximum(self):
+        meter = SpaceMeter()
+        meter.charge("a", 10)
+        meter.release("a", 8)
+        meter.charge("a", 3)
+        assert meter.current_words == 5
+        assert meter.peak_words == 10
+
+    def test_set_usage_absolute(self):
+        meter = SpaceMeter()
+        meter.set_usage("x", 7)
+        meter.set_usage("x", 3)
+        assert meter.usage("x") == 3
+        assert meter.peak_words == 7
+
+    def test_release_all(self):
+        meter = SpaceMeter()
+        meter.charge("a", 4)
+        meter.release("a")
+        assert meter.usage("a") == 0
+
+    def test_release_too_much_rejected(self):
+        meter = SpaceMeter()
+        meter.charge("a", 2)
+        with pytest.raises(ValueError):
+            meter.release("a", 5)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceMeter().charge("a", -1)
+
+    def test_reset_category(self):
+        meter = SpaceMeter()
+        meter.charge("a", 9)
+        meter.reset_category("a")
+        assert meter.usage("a") == 0
+        assert meter.peak_words == 9
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        meter = SpaceMeter(budget=10)
+        meter.charge("a", 10)
+        with pytest.raises(SpaceBudgetExceededError):
+            meter.charge("a", 1)
+
+    def test_budget_error_carries_values(self):
+        meter = SpaceMeter(budget=5)
+        try:
+            meter.charge("a", 6)
+        except SpaceBudgetExceededError as exc:
+            assert exc.used == 6
+            assert exc.budget == 5
+        else:  # pragma: no cover
+            pytest.fail("expected SpaceBudgetExceededError")
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceMeter(budget=-1)
+
+
+class TestReport:
+    def test_report_contents(self):
+        meter = SpaceMeter()
+        meter.charge("incidences", 100)
+        meter.charge("solution", 3)
+        meter.release("incidences", 50)
+        report = meter.report()
+        assert report.peak_words == 103
+        assert report.final_words == 53
+        assert report.peak_by_category["incidences"] == 100
+        assert report.dominant_category() == "incidences"
+
+    def test_empty_report(self):
+        report = SpaceMeter().report()
+        assert report.peak_words == 0
+        assert report.dominant_category() is None

@@ -1,0 +1,87 @@
+"""Unit tests for the bitset helpers."""
+
+import pytest
+
+from repro.utils.bitset import (
+    bitset_difference,
+    bitset_from_iterable,
+    bitset_intersection,
+    bitset_size,
+    bitset_to_set,
+    bitset_union,
+    iter_bits,
+    universe_mask,
+)
+
+
+class TestBitsetFromIterable:
+    def test_empty(self):
+        assert bitset_from_iterable([]) == 0
+
+    def test_single_element(self):
+        assert bitset_from_iterable([3]) == 0b1000
+
+    def test_multiple_elements(self):
+        assert bitset_from_iterable([0, 2, 5]) == 0b100101
+
+    def test_duplicates_collapse(self):
+        assert bitset_from_iterable([1, 1, 1]) == 0b10
+
+    def test_negative_element_rejected(self):
+        with pytest.raises(ValueError):
+            bitset_from_iterable([-1])
+
+
+class TestRoundTrip:
+    def test_to_set_round_trip(self):
+        elements = {0, 7, 13, 64, 200}
+        assert bitset_to_set(bitset_from_iterable(elements)) == elements
+
+    def test_iter_bits_sorted(self):
+        mask = bitset_from_iterable([9, 2, 30])
+        assert list(iter_bits(mask)) == [2, 9, 30]
+
+    def test_zero_mask_iterates_nothing(self):
+        assert list(iter_bits(0)) == []
+
+
+class TestSizeAndOps:
+    def test_size_empty(self):
+        assert bitset_size(0) == 0
+
+    def test_size_counts_bits(self):
+        assert bitset_size(0b101101) == 4
+
+    def test_union(self):
+        assert bitset_union(0b001, 0b100) == 0b101
+
+    def test_union_of_none(self):
+        assert bitset_union() == 0
+
+    def test_intersection(self):
+        assert bitset_intersection(0b0111, 0b1110) == 0b0110
+
+    def test_intersection_requires_operand(self):
+        with pytest.raises(ValueError):
+            bitset_intersection()
+
+    def test_difference(self):
+        assert bitset_difference(0b1111, 0b0101) == 0b1010
+
+    def test_difference_disjoint(self):
+        assert bitset_difference(0b11, 0b1100) == 0b11
+
+
+class TestUniverseMask:
+    def test_zero_universe(self):
+        assert universe_mask(0) == 0
+
+    def test_small_universe(self):
+        assert universe_mask(4) == 0b1111
+
+    def test_size_matches(self):
+        assert bitset_size(universe_mask(97)) == 97
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            universe_mask(-1)

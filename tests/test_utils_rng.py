@@ -1,0 +1,69 @@
+"""Unit tests for the seeded random source."""
+
+from repro.utils.rng import RandomSource, spawn_rng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RandomSource(42)
+        b = RandomSource(42)
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1)
+        b = RandomSource(2)
+        assert [a.randint(0, 10 ** 9) for _ in range(5)] != [
+            b.randint(0, 10 ** 9) for _ in range(5)
+        ]
+
+    def test_spawn_is_deterministic(self):
+        a_children = [RandomSource(7).spawn().randint(0, 10 ** 9) for _ in range(1)]
+        b_children = [RandomSource(7).spawn().randint(0, 10 ** 9) for _ in range(1)]
+        assert a_children == b_children
+
+    def test_spawned_children_independent_order(self):
+        parent = RandomSource(3)
+        first = parent.spawn()
+        second = parent.spawn()
+        assert first.randint(0, 10 ** 9) != second.randint(0, 10 ** 9)
+
+
+class TestHelpers:
+    def test_permutation_is_permutation(self):
+        perm = RandomSource(11).permutation(20)
+        assert sorted(perm) == list(range(20))
+
+    def test_subset_size(self):
+        subset = RandomSource(5).subset(50, 10)
+        assert len(subset) == 10
+        assert all(0 <= e < 50 for e in subset)
+
+    def test_subset_too_large_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RandomSource(5).subset(3, 5)
+
+    def test_bernoulli_extremes(self):
+        rng = RandomSource(9)
+        assert all(rng.bernoulli(1.0) for _ in range(20))
+        assert not any(rng.bernoulli(0.0) for _ in range(20))
+
+    def test_uniform_range(self):
+        rng = RandomSource(4)
+        values = [rng.uniform(2.0, 3.0) for _ in range(100)]
+        assert all(2.0 <= v <= 3.0 for v in values)
+
+
+class TestSpawnRng:
+    def test_spawn_rng_passthrough(self):
+        source = RandomSource(1)
+        assert spawn_rng(source) is source
+
+    def test_spawn_rng_from_int(self):
+        assert isinstance(spawn_rng(17), RandomSource)
+
+    def test_spawn_rng_from_none(self):
+        assert isinstance(spawn_rng(None), RandomSource)

@@ -1,0 +1,54 @@
+"""Unit tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.utils.tables import Table, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "1" in lines[2]
+
+    def test_title_included(self):
+        text = format_table(["x"], [[1]], title="my table")
+        assert text.splitlines()[0] == "my table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159265]], float_format=".3g")
+        assert "3.14" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestTable:
+    def test_add_row_and_len(self):
+        table = Table(["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert len(table) == 2
+
+    def test_add_row_wrong_arity(self):
+        table = Table(["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_column_extraction(self):
+        table = Table(["name", "value"])
+        table.add_row("x", 10)
+        table.add_row("y", 20)
+        assert table.column("value") == [10, 20]
+
+    def test_column_unknown_name(self):
+        table = Table(["a"])
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_str_matches_render(self):
+        table = Table(["a"], title="t")
+        table.add_row(5)
+        assert str(table) == table.render()

@@ -1,0 +1,140 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.setcover.exact import exact_cover_value
+from repro.workloads.adversarial import dmc_stream_instance, dsc_stream_instance
+from repro.workloads.coverage import coverage_workload, topic_coverage_instance
+from repro.workloads.random_instances import (
+    disjoint_blocks_instance,
+    plant_cover_instance,
+    random_instance,
+    random_set_system,
+    zipfian_instance,
+)
+
+
+class TestRandomSetSystem:
+    def test_fixed_size_sets(self):
+        system = random_set_system(50, 10, set_size=7, seed=1)
+        assert system.num_sets == 10
+        assert all(system.set_size(i) == 7 for i in range(10))
+
+    def test_density_sets(self):
+        system = random_set_system(100, 20, density=0.3, seed=2)
+        total = system.incidence_count()
+        assert 400 <= total <= 800  # 20 * 100 * 0.3 = 600 expected
+
+    def test_default_density_coverable_often(self):
+        system = random_set_system(80, 40, seed=3)
+        assert system.num_sets == 40
+
+    def test_conflicting_arguments(self):
+        with pytest.raises(ValueError):
+            random_set_system(10, 5, set_size=3, density=0.5)
+
+    def test_invalid_set_size(self):
+        with pytest.raises(ValueError):
+            random_set_system(10, 5, set_size=20)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            random_set_system(10, 5, density=1.5)
+
+    def test_determinism(self):
+        a = random_set_system(30, 10, set_size=5, seed=9)
+        b = random_set_system(30, 10, set_size=5, seed=9)
+        assert a == b
+
+
+class TestRandomInstance:
+    def test_always_coverable(self):
+        for seed in range(5):
+            instance = random_instance(40, 15, seed=seed)
+            assert instance.system.is_coverable()
+
+
+class TestPlantedCover:
+    def test_planted_opt_is_exact(self):
+        instance = plant_cover_instance(60, 20, 3, seed=4)
+        assert exact_cover_value(instance.system) == 3
+
+    def test_coverable(self):
+        instance = plant_cover_instance(100, 25, 5, seed=5)
+        assert instance.system.is_coverable()
+
+    def test_planted_positions_recorded(self):
+        instance = plant_cover_instance(60, 20, 3, seed=6)
+        positions = instance.metadata["planted_positions"]
+        assert len(positions) == 3
+        assert all(0 <= p < 20 for p in positions)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            plant_cover_instance(10, 5, 0)
+        with pytest.raises(ValueError):
+            plant_cover_instance(10, 5, 6)
+        with pytest.raises(ValueError):
+            plant_cover_instance(3, 10, 5)
+
+    def test_custom_decoy_size(self):
+        instance = plant_cover_instance(60, 20, 3, decoy_set_size=2, seed=7)
+        assert instance.metadata["decoy_set_size"] == 2
+
+
+class TestZipfAndBlocks:
+    def test_zipfian_coverable(self):
+        instance = zipfian_instance(80, 30, set_size=10, seed=8)
+        assert instance.system.is_coverable()
+        assert instance.metadata["kind"] == "zipf"
+
+    def test_zipfian_invalid_skew(self):
+        with pytest.raises(ValueError):
+            zipfian_instance(10, 5, 3, skew=0.0)
+
+    def test_disjoint_blocks(self):
+        instance = disjoint_blocks_instance(24, 4, seed=9)
+        assert instance.planted_opt == 4
+        system = instance.system
+        union = system.coverage(range(4))
+        assert union == 24
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (system.elements(i) & system.elements(j))
+
+    def test_disjoint_blocks_invalid(self):
+        with pytest.raises(ValueError):
+            disjoint_blocks_instance(5, 6)
+
+
+class TestCoverageWorkloads:
+    def test_topic_coverage_shapes(self):
+        instance = topic_coverage_instance(50, 20, communities=4, seed=10)
+        assert instance.system.universe_size == 50
+        assert instance.system.num_sets == 20
+        assert instance.metadata["communities"] == 4
+
+    def test_coverage_workload_sets_k(self):
+        instance = coverage_workload(50, 20, k=3, seed=11)
+        assert instance.metadata["k"] == 3
+
+    def test_invalid_communities(self):
+        with pytest.raises(ValueError):
+            topic_coverage_instance(10, 5, communities=0)
+
+
+class TestAdversarialWorkloads:
+    def test_dsc_instance_shapes(self):
+        instance = dsc_stream_instance(60, 5, alpha=2, theta=1, seed=12)
+        assert instance.system.num_sets == 10
+        assert instance.planted_opt == 2
+        assert instance.metadata["kind"] == "dsc"
+
+    def test_dsc_theta_zero_has_no_planted_opt(self):
+        instance = dsc_stream_instance(60, 5, alpha=2, theta=0, seed=13)
+        assert instance.planted_opt is None
+
+    def test_dmc_instance_shapes(self):
+        instance = dmc_stream_instance(4, epsilon=0.4, seed=14)
+        assert instance.system.num_sets == 8
+        assert instance.metadata["k"] == 2

@@ -1,0 +1,55 @@
+"""Unit tests for instance serialisation."""
+
+import pytest
+
+from repro.setcover.instance import SetCoverInstance, SetSystem
+from repro.workloads.io import dumps_instance, load_instance, loads_instance, save_instance
+from repro.workloads.random_instances import plant_cover_instance
+
+
+class TestRoundTrip:
+    def test_text_round_trip(self):
+        instance = plant_cover_instance(40, 12, 3, seed=1)
+        text = dumps_instance(instance)
+        rebuilt = loads_instance(text)
+        assert rebuilt.system == instance.system
+        assert rebuilt.planted_opt == instance.planted_opt
+        assert rebuilt.metadata["kind"] == "planted"
+
+    def test_file_round_trip(self, tmp_path):
+        instance = plant_cover_instance(25, 8, 2, seed=2)
+        path = save_instance(instance, tmp_path / "instance.txt")
+        rebuilt = load_instance(path)
+        assert rebuilt.system == instance.system
+
+    def test_empty_set_round_trip(self):
+        system = SetSystem(4, [[0, 1, 2, 3], []])
+        text = dumps_instance(SetCoverInstance(system))
+        rebuilt = loads_instance(text)
+        assert rebuilt.system == system
+
+    def test_no_metadata(self):
+        system = SetSystem(3, [[0], [1, 2]])
+        rebuilt = loads_instance(dumps_instance(SetCoverInstance(system)))
+        assert rebuilt.planted_opt is None
+        assert rebuilt.metadata == {}
+
+
+class TestParsingErrors:
+    def test_missing_data(self):
+        with pytest.raises(ValueError):
+            loads_instance("# just a comment\n")
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError):
+            loads_instance("5\n0 1\n")
+
+    def test_wrong_set_count(self):
+        with pytest.raises(ValueError):
+            loads_instance("4 3\n0 1\n2 3\n")
+
+    def test_comments_ignored(self):
+        text = "# a comment\n3 1\n0 1 2\n"
+        instance = loads_instance(text)
+        assert instance.system.num_sets == 1
+        assert instance.system.elements(0) == frozenset({0, 1, 2})
