@@ -5,11 +5,19 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli list
     python -m repro.cli run E2 E5 --seed 7
     python -m repro.cli run all --json results.json --markdown report.md
+    python -m repro.cli run E1 E5 --workers 4 --store /tmp/rstore
+    python -m repro.cli scenarios
 
-The CLI is a thin wrapper over :mod:`repro.experiments`: it resolves
-experiment ids, runs them with optional seed overrides, prints the tables,
-and optionally persists JSON / markdown reports via
-:mod:`repro.experiments.report`.
+The CLI is a thin wrapper over :mod:`repro.experiments` and
+:mod:`repro.runtime`: it resolves experiment/scenario ids, runs them — in
+process, or sharded over worker processes and backed by a persistent result
+store — prints the tables, and optionally persists JSON / markdown reports
+via :mod:`repro.experiments.report`.
+
+When ``--workers``/``--store`` are given, execution routes through the
+runtime executor: status lines become deterministic ``computed``/``cached``
+markers (no wall-clock), so a parallel run's stdout is byte-identical to the
+serial run's and cache hits are observable.
 """
 
 from __future__ import annotations
@@ -17,27 +25,25 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
-from repro.experiments.experiment_defs import EXPERIMENT_REGISTRY
+from repro.experiments.experiment_defs import (
+    EXPERIMENT_DESCRIPTIONS,
+    EXPERIMENT_REGISTRY,
+)
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.report import save_markdown_report, save_results_json
 
-#: Short human-readable descriptions shown by ``list``.
-EXPERIMENT_DESCRIPTIONS: Dict[str, str] = {
-    "E1": "Algorithm 1 space scales as m*n^(1/alpha) (Theorem 2)",
-    "E2": "Algorithm 1 pass count and approximation bounds (Theorem 2)",
-    "E3": "Element sampling preserves coverage (Lemma 3.12)",
-    "E4": "Coverage concentration of random large sets (Lemma 2.2)",
-    "E5": "Optimum gap of the hard distribution D_SC (Lemma 3.2)",
-    "E6": "Two-party communication cost on D_SC (Theorem 3)",
-    "E7": "Disjointness via a set cover oracle (Lemma 3.4)",
-    "E8": "Random partitioning / random arrival robustness (Lemma 3.7)",
-    "E9": "Maximum coverage gap of D_MC (Lemma 4.3 / Claim 4.4)",
-    "E10": "Max coverage space grows as m/eps^2 (Theorems 4/5)",
-    "E11": "Algorithm 1 vs prior streaming algorithms",
-    "E12": "Information-theory facts and D_Disj quantities (Appendix A)",
-}
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--workers``: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,21 +74,56 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--quiet", action="store_true", help="do not print the per-experiment tables"
     )
+    run_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="shard execution across N worker processes (via repro.runtime)",
+    )
+    run_parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help="persistent result-store directory; repeated runs skip cached tasks",
+    )
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="list the registered runtime scenarios"
+    )
+    scenarios_parser.add_argument(
+        "name", nargs="?", default=None, help="show one scenario in detail"
+    )
+    scenarios_parser.add_argument(
+        "--tag", type=str, default=None, help="only list scenarios with this tag"
+    )
     return parser
 
 
-def resolve_experiment_ids(requested: Sequence[str]) -> List[str]:
-    """Expand 'all' and validate experiment ids (case-insensitive)."""
+def resolve_experiment_ids(
+    requested: Sequence[str], allow_scenarios: bool = False
+) -> List[str]:
+    """Expand 'all' and validate experiment ids (case-insensitive).
+
+    With ``allow_scenarios=True`` (the runtime execution path), names that
+    are not experiment ids may also match any registered runtime scenario.
+    """
     if any(entry.lower() == "all" for entry in requested):
         return sorted(EXPERIMENT_REGISTRY, key=lambda eid: int(eid[1:]))
     resolved = []
     for entry in requested:
         canonical = entry.upper()
-        if canonical not in EXPERIMENT_REGISTRY:
-            raise SystemExit(
-                f"unknown experiment {entry!r}; run 'repro list' to see the options"
-            )
-        resolved.append(canonical)
+        if canonical in EXPERIMENT_REGISTRY:
+            resolved.append(canonical)
+            continue
+        if allow_scenarios:
+            from repro.runtime import SCENARIO_REGISTRY
+
+            if entry in SCENARIO_REGISTRY:
+                resolved.append(entry)
+                continue
+        raise SystemExit(
+            f"unknown experiment {entry!r}; run 'repro list' to see the options"
+        )
     return resolved
 
 
@@ -110,6 +151,71 @@ def run_experiments(
     return results
 
 
+def run_experiments_runtime(
+    experiment_ids: Sequence[str],
+    seed: Optional[int] = None,
+    workers: int = 1,
+    store_dir: Optional[str] = None,
+    printer: Callable[[str], None] = print,
+    quiet: bool = False,
+) -> List[ExperimentResult]:
+    """Run experiments through the runtime executor (sharded, store-backed).
+
+    Status lines are deterministic ``computed``/``cached`` markers rather
+    than wall-clock timings, so the printed output of a ``--workers 4`` run
+    is byte-identical to the serial one and cache hits are observable.
+    """
+    from repro.runtime import ResultStore, TaskExecutor, get_scenario, tasks_from_scenario
+
+    tasks = []
+    for experiment_id in experiment_ids:
+        tasks.extend(tasks_from_scenario(get_scenario(experiment_id), seed_override=seed))
+    store = ResultStore(store_dir) if store_dir else None
+    report = TaskExecutor(workers=workers, store=store).run(tasks)
+    results: List[ExperimentResult] = []
+    for outcome in report.outcomes:
+        result = outcome.result()
+        results.append(result)
+        if quiet:
+            printer(f"[{outcome.task.key}] {outcome.status}")
+        else:
+            printer(result.render())
+            printer(f"[{outcome.task.key}] {outcome.status}")
+            printer("")
+    return results
+
+
+def _scenarios_command(name: Optional[str], tag: Optional[str]) -> int:
+    """Implement the ``scenarios`` subcommand (list or show one)."""
+    from repro.runtime import get_scenario, iter_scenarios, task_fingerprint, tasks_from_scenario
+
+    if name is not None:
+        try:
+            spec = get_scenario(name)
+        except KeyError:
+            raise SystemExit(
+                f"unknown scenario {name!r}; run 'repro scenarios' to see the options"
+            )
+        print(f"name:         {spec.name}")
+        print(f"runner:       {spec.runner}")
+        print(f"description:  {spec.description or '-'}")
+        print(f"seed:         {spec.seed if spec.seed is not None else 'runner default'}")
+        print(f"repetitions:  {spec.repetitions}")
+        print(f"tags:         {', '.join(spec.tags) or '-'}")
+        print(f"params:       {dict(spec.params) or '{}'}")
+        print("tasks:")
+        for task in tasks_from_scenario(spec):
+            print(f"  {task.key}  fingerprint={task_fingerprint(task)[:16]}…")
+        return 0
+    for spec in iter_scenarios(tag=tag):
+        tags = f" [{','.join(spec.tags)}]" if spec.tags else ""
+        print(
+            f"{spec.name:>6}  runner={spec.runner:<4} reps={spec.repetitions}"
+            f"  {spec.description}{tags}"
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -121,8 +227,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{experiment_id:>4}  {description}")
         return 0
 
-    experiment_ids = resolve_experiment_ids(args.experiments)
-    results = run_experiments(experiment_ids, seed=args.seed, quiet=args.quiet)
+    if args.command == "scenarios":
+        return _scenarios_command(args.name, args.tag)
+
+    use_runtime = args.workers > 1 or args.store is not None
+    experiment_ids = resolve_experiment_ids(
+        args.experiments, allow_scenarios=use_runtime
+    )
+    if use_runtime:
+        results = run_experiments_runtime(
+            experiment_ids,
+            seed=args.seed,
+            workers=args.workers,
+            store_dir=args.store,
+            quiet=args.quiet,
+        )
+    else:
+        results = run_experiments(experiment_ids, seed=args.seed, quiet=args.quiet)
     if args.json:
         path = save_results_json(results, args.json)
         print(f"wrote {path}")

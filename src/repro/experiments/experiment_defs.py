@@ -806,6 +806,24 @@ def run_e12_infotheory(
     )
 
 
+#: Short human-readable descriptions (shown by ``repro list`` and the
+#: runtime scenario registry).
+EXPERIMENT_DESCRIPTIONS: Dict[str, str] = {
+    "E1": "Algorithm 1 space scales as m*n^(1/alpha) (Theorem 2)",
+    "E2": "Algorithm 1 pass count and approximation bounds (Theorem 2)",
+    "E3": "Element sampling preserves coverage (Lemma 3.12)",
+    "E4": "Coverage concentration of random large sets (Lemma 2.2)",
+    "E5": "Optimum gap of the hard distribution D_SC (Lemma 3.2)",
+    "E6": "Two-party communication cost on D_SC (Theorem 3)",
+    "E7": "Disjointness via a set cover oracle (Lemma 3.4)",
+    "E8": "Random partitioning / random arrival robustness (Lemma 3.7)",
+    "E9": "Maximum coverage gap of D_MC (Lemma 4.3 / Claim 4.4)",
+    "E10": "Max coverage space grows as m/eps^2 (Theorems 4/5)",
+    "E11": "Algorithm 1 vs prior streaming algorithms",
+    "E12": "Information-theory facts and D_Disj quantities (Appendix A)",
+}
+
+
 #: Registry used by the benchmark harness and the examples.
 EXPERIMENT_REGISTRY = {
     "E1": run_e01_space_tradeoff,

@@ -1,0 +1,216 @@
+"""Sharded execution of runtime tasks with deterministic merging.
+
+The executor partitions a list of :class:`~repro.runtime.tasks.RuntimeTask`
+into store hits (skipped) and pending work, runs the pending tasks either
+serially or across N worker processes, and merges the outcomes back **in
+submission order**.  Because every task carries its own derived seed and the
+merge order is input order (never completion order), a parallel run's output
+is byte-identical to the serial run's.
+
+Also exposes :func:`parallel_map`, the lower-level ordered process-pool map
+that :class:`repro.experiments.harness.SweepRunner` uses to shard a
+parameter sweep, and :func:`run_cached`, the store-aware entry point the
+benchmark harness wraps experiment calls in.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, TypeVar
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import result_from_dict, result_to_dict
+from repro.runtime.scenarios import freeze_params
+from repro.runtime.store import ResultStore
+from repro.runtime.tasks import RuntimeTask, execute_task
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Outcome status markers (also what the CLI prints, so they are part of the
+#: observable cache behaviour).
+STATUS_COMPUTED = "computed"
+STATUS_CACHED = "cached"
+
+
+@dataclass
+class TaskOutcome:
+    """One task's terminal state: its payload plus how it was obtained."""
+
+    task: RuntimeTask
+    payload: Dict[str, Any]
+    status: str
+    elapsed: float = 0.0
+
+    def result(self) -> ExperimentResult:
+        """Materialise the payload back into an :class:`ExperimentResult`."""
+        return result_from_dict(self.payload)
+
+
+@dataclass
+class RunReport:
+    """The merged, submission-ordered outcomes of one executor run."""
+
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    workers: int = 1
+
+    def results(self) -> List[ExperimentResult]:
+        return [outcome.result() for outcome in self.outcomes]
+
+    def counts(self) -> Dict[str, int]:
+        """How many tasks were computed vs served from the store."""
+        counts = {STATUS_COMPUTED: 0, STATUS_CACHED: 0}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+
+def _timed_execute(task: RuntimeTask) -> Tuple[Dict[str, Any], float]:
+    """Worker entry point: run one task, returning (payload, elapsed seconds)."""
+    started = time.time()
+    payload = execute_task(task)
+    return payload, time.time() - started
+
+
+class TaskExecutor:
+    """Runs task batches serially or across worker processes, with caching.
+
+    ``workers=1`` (the default) runs in-process; ``workers=N`` shards pending
+    tasks over a :class:`ProcessPoolExecutor`.  If a pool cannot be created
+    (restricted sandboxes), execution silently degrades to serial — the
+    output is identical either way, only wall-clock changes.
+    """
+
+    def __init__(self, workers: int = 1, store: Optional[ResultStore] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.store = store
+
+    def run(self, tasks: Iterable[RuntimeTask]) -> RunReport:
+        """Execute the batch and return submission-ordered outcomes.
+
+        Computed results are persisted to the store *as each task finishes*
+        (not after the whole batch), so an interrupted or partially failing
+        sweep resumes from every task that completed before the failure.
+        """
+        ordered = list(tasks)
+        outcomes: Dict[int, TaskOutcome] = {}
+        pending: List[Tuple[int, RuntimeTask]] = []
+        for index, task in enumerate(ordered):
+            cached = self.store.get(task) if self.store is not None else None
+            if cached is not None:
+                outcomes[index] = TaskOutcome(
+                    task=task, payload=cached, status=STATUS_CACHED
+                )
+            else:
+                pending.append((index, task))
+
+        for index, task, payload, elapsed in self._execute_pending(pending):
+            if self.store is not None:
+                self.store.put(task, payload)
+            outcomes[index] = TaskOutcome(
+                task=task, payload=payload, status=STATUS_COMPUTED, elapsed=elapsed
+            )
+
+        return RunReport(
+            outcomes=[outcomes[index] for index in range(len(ordered))],
+            workers=self.workers,
+        )
+
+    def _execute_pending(self, pending: List[Tuple[int, RuntimeTask]]):
+        """Yield ``(index, task, payload, elapsed)`` as tasks finish.
+
+        Completion order, not submission order — the caller persists each
+        result eagerly and re-sorts by index afterwards.  Worker-spawn
+        failure (restricted sandboxes) degrades to the serial path; a task's
+        own exception propagates unchanged.
+        """
+        if self.workers <= 1 or len(pending) <= 1:
+            for index, task in pending:
+                payload, elapsed = _timed_execute(task)
+                yield index, task, payload, elapsed
+            return
+        try:
+            # Worker processes spawn lazily at submit time, so the first
+            # submit is the probe for "can this environment fork at all".
+            pool = ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
+            first_index, first_task = pending[0]
+            future_info = {pool.submit(_timed_execute, first_task): (first_index, first_task)}
+        except OSError:  # pragma: no cover - sandbox fallback
+            for index, task in pending:
+                payload, elapsed = _timed_execute(task)
+                yield index, task, payload, elapsed
+            return
+        with pool:
+            for index, task in pending[1:]:
+                future_info[pool.submit(_timed_execute, task)] = (index, task)
+            for future in as_completed(future_info):
+                index, task = future_info[future]
+                payload, elapsed = future.result()
+                yield index, task, payload, elapsed
+
+
+def parallel_map(
+    func: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    workers: int = 1,
+) -> List[ResultT]:
+    """Ordered map over ``items``, sharded across processes when asked.
+
+    Results always come back in input order (``ProcessPoolExecutor.map``
+    preserves it), so callers see serial semantics regardless of ``workers``.
+    ``func`` and the items must be picklable when ``workers > 1``; environments
+    that cannot fork/spawn degrade to the serial path.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    try:
+        # Worker processes spawn lazily at submit time, so the first submit
+        # probes whether this environment can fork at all; only that spawn
+        # failure triggers the serial fallback — a task's own exception
+        # (even an OSError) propagates from future.result() unchanged.
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(items)))
+        first = pool.submit(func, items[0])
+    except OSError:  # pragma: no cover - sandbox fallback
+        return [func(item) for item in items]
+    with pool:
+        futures = [first] + [pool.submit(func, item) for item in items[1:]]
+        return [future.result() for future in futures]
+
+
+def run_cached(
+    func: Callable[..., ExperimentResult],
+    kwargs: Mapping[str, Any],
+    store: ResultStore,
+) -> Tuple[ExperimentResult, str]:
+    """Run an experiment function through the result store.
+
+    Resolves ``func`` back to its experiment-registry id so the fingerprint
+    matches CLI-initiated runs of the same computation; unregistered
+    functions are fingerprinted under their qualified name.  Returns the
+    result plus the outcome status (``"computed"``/``"cached"``).
+    """
+    from repro.experiments.experiment_defs import EXPERIMENT_REGISTRY
+
+    runner_id = next(
+        (eid for eid, fn in EXPERIMENT_REGISTRY.items() if fn is func),
+        f"{func.__module__}.{func.__qualname__}",
+    )
+    seed = kwargs.get("seed")
+    params = {key: value for key, value in kwargs.items() if key != "seed"}
+    task = RuntimeTask(
+        key=runner_id, runner=runner_id, params=freeze_params(params), seed=seed
+    )
+    cached = store.get(task)
+    if cached is not None:
+        return result_from_dict(cached), STATUS_CACHED
+    result = func(**kwargs)
+    store.put(task, result_to_dict(result))
+    return result, STATUS_COMPUTED

@@ -1,0 +1,117 @@
+"""Content-addressed on-disk result store for experiment runs.
+
+Every :class:`~repro.runtime.tasks.RuntimeTask` has a *fingerprint*: the
+SHA-256 of the canonical JSON of ``(format version, runner, params, seed)``.
+The store keeps one JSON file per fingerprint (sharded into two-hex-digit
+subdirectories), so re-running a scenario grid skips every task whose inputs
+are unchanged — resume semantics for long benchmark sweeps come for free.
+
+Invalidation is structural: changing any input changes the fingerprint, and
+bumping :data:`STORE_FORMAT_VERSION` (when the stored payload shape changes)
+orphans every old entry.  Corrupt or mismatched entries read as misses and
+are overwritten by the recomputed result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.runtime.tasks import RuntimeTask
+
+PathLike = Union[str, Path]
+
+#: Bump when the stored payload layout changes incompatibly.
+STORE_FORMAT_VERSION = 1
+
+
+def task_fingerprint(task: RuntimeTask) -> str:
+    """SHA-256 fingerprint of a task's inputs (hex, 64 chars)."""
+    payload = dict(task.fingerprint_payload(), format=STORE_FORMAT_VERSION)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """A directory of finished task results, keyed by input fingerprint."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Where the entry for ``fingerprint`` lives (may not exist)."""
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, task: RuntimeTask) -> Optional[Dict[str, Any]]:
+        """Return the stored result payload for ``task``, or ``None`` on miss."""
+        entry = self._valid_entry(task)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def _valid_entry(self, task: RuntimeTask) -> Optional[Dict[str, Any]]:
+        """Load and validate the entry for ``task`` (no counter side effects)."""
+        fingerprint = task_fingerprint(task)
+        entry = self._load(self.path_for(fingerprint))
+        if (
+            entry is None
+            or entry.get("fingerprint") != fingerprint
+            or entry.get("format") != STORE_FORMAT_VERSION
+        ):
+            return None
+        return entry
+
+    def put(self, task: RuntimeTask, result_payload: Dict[str, Any]) -> Path:
+        """Persist a computed result; returns the entry path."""
+        fingerprint = task_fingerprint(task)
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": STORE_FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "task": task.fingerprint_payload(),
+            "key": task.key,
+            "result": result_payload,
+        }
+        # Write-then-rename so a crashed run never leaves a truncated entry
+        # in place.  The tmp name is per-process-unique: concurrent writers
+        # of the same task (two CLI runs sharing a store) each rename their
+        # own complete file, so the final entry is always whole regardless
+        # of which writer wins.
+        tmp_path = path.parent / f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        tmp_path.write_text(json.dumps(entry, indent=2, sort_keys=True))
+        tmp_path.replace(path)
+        return path
+
+    def __contains__(self, task: RuntimeTask) -> bool:
+        return self._valid_entry(task) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    @staticmethod
+    def _load(path: Path) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore(root={str(self.root)!r}, hits={self.hits}, misses={self.misses})"

@@ -1,0 +1,96 @@
+"""The unit of schedulable work: one experiment run with fixed inputs.
+
+A :class:`RuntimeTask` is a frozen, picklable description of a single runner
+invocation — scenario repetition, parameter overrides, resolved seed.  Tasks
+reference their experiment by registry *name* so a worker process can
+re-resolve the callable after ``fork``/``spawn``; :func:`execute_task` is the
+module-level entry point the process pool maps over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.experiment_defs import EXPERIMENT_REGISTRY
+from repro.experiments.report import result_to_dict
+from repro.runtime.scenarios import ParamItems, ScenarioSpec
+from repro.runtime.seeding import repetition_seed, scenario_seed
+
+
+@dataclass(frozen=True)
+class RuntimeTask:
+    """One independent experiment invocation.
+
+    ``key`` is the stable identity used for ordering and display:
+    parallel execution merges outcomes back in task-key submission order, so
+    a sharded run reports results exactly like the serial one.
+    """
+
+    key: str
+    runner: str
+    params: ParamItems = ()
+    seed: Optional[int] = None
+
+    def kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for the experiment runner (seed included)."""
+        kwargs: Dict[str, Any] = dict(self.params)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return kwargs
+
+    def fingerprint_payload(self) -> Dict[str, Any]:
+        """The identity the result store hashes: runner + params + seed.
+
+        Deliberately excludes ``key`` — the same computation requested under
+        two scenario names still hits the same cache entry.
+        """
+        return {
+            "runner": self.runner,
+            "params": [[name, _listify(value)] for name, value in self.params],
+            "seed": self.seed,
+        }
+
+
+def _listify(value: Any) -> Any:
+    """Convert frozen tuples back to lists for canonical JSON hashing."""
+    if isinstance(value, tuple):
+        return [_listify(item) for item in value]
+    return value
+
+
+def tasks_from_scenario(
+    spec: ScenarioSpec, seed_override: Optional[int] = None
+) -> List[RuntimeTask]:
+    """Expand a scenario into its repetition tasks.
+
+    A single-repetition scenario without an explicit seed keeps ``seed=None``
+    so the runner's built-in default applies (matching the legacy serial
+    CLI).  Multi-repetition scenarios always derive per-repetition seeds from
+    the scenario root via the seeding protocol.
+    """
+    root = seed_override if seed_override is not None else spec.seed
+    if spec.repetitions == 1:
+        return [RuntimeTask(key=spec.name, runner=spec.runner, params=spec.params, seed=root)]
+    resolved_root = scenario_seed(root, spec.name)
+    return [
+        RuntimeTask(
+            key=f"{spec.name}#r{rep}",
+            runner=spec.runner,
+            params=spec.params,
+            seed=repetition_seed(resolved_root, rep),
+        )
+        for rep in range(spec.repetitions)
+    ]
+
+
+def execute_task(task: RuntimeTask) -> Dict[str, Any]:
+    """Run one task and return its result as a JSON-serialisable dict.
+
+    Module-level (not a closure) so :class:`concurrent.futures.ProcessPoolExecutor`
+    can pickle it; the dict form crosses the process boundary and is what the
+    result store persists.
+    """
+    runner = EXPERIMENT_REGISTRY[task.runner]
+    result = runner(**task.kwargs())
+    return result_to_dict(result)

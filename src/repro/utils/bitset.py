@@ -28,18 +28,30 @@ def bitset_to_set(mask: int) -> Set[int]:
 
 
 def iter_bits(mask: int) -> Iterator[int]:
-    """Yield the indices of set bits in increasing order."""
-    index = 0
+    """Yield the indices of set bits in increasing order.
+
+    Uses the lowest-set-bit trick (``mask & -mask`` isolates the lowest set
+    bit, ``bit_length`` names it) so the cost is O(popcount) big-int ops
+    instead of O(universe size) single-bit shifts — this is the inner loop of
+    every streaming algorithm's element iteration.
+    """
     while mask:
-        if mask & 1:
-            yield index
-        mask >>= 1
-        index += 1
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def _popcount_fallback(mask: int) -> int:
+    """Portable popcount for Python < 3.10 (no ``int.bit_count``)."""
+    return bin(mask).count("1")
+
+
+_popcount = getattr(int, "bit_count", None) or _popcount_fallback
 
 
 def bitset_size(mask: int) -> int:
     """Return the number of elements in the bitset (popcount)."""
-    return bin(mask).count("1") if mask else 0
+    return _popcount(mask)
 
 
 def bitset_union(*masks: int) -> int:

@@ -8,10 +8,33 @@ streams for each component.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Optional, Union
 
 SeedLike = Union[None, int, random.Random, "RandomSource"]
+
+#: Number of bits in a derived seed (fits comfortably in a C long).
+_SEED_BITS = 64
+
+
+def derive_seed(root: int, *path: Union[int, str]) -> int:
+    """Derive a child seed from ``root`` and a path of names/indices.
+
+    The derivation hashes ``root`` together with the path components, so the
+    result depends only on the *values* of ``(root, path)`` — never on call
+    order or on how many other seeds were derived before.  This is the
+    primitive underneath :mod:`repro.runtime.seeding`: hierarchical seed trees
+    (``scenario seed → repetition seed → named subsystem stream``) are built
+    by chaining paths, and two runs that derive the same path always get the
+    same stream regardless of interleaving.
+    """
+    # Length-prefix each component so the encoding is injective: without it,
+    # a single component "a:b" would collide with the two components ("a","b").
+    parts = [str(part) for part in path]
+    material = str(int(root)) + "".join(f"|{len(part)}:{part}" for part in parts)
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[: _SEED_BITS // 8], "big", signed=False)
 
 
 class RandomSource:

@@ -68,6 +68,105 @@ class TestRunExperiments:
         assert results[0].findings["all_facts_hold"]
 
 
+class TestRuntimePath:
+    def test_parser_accepts_workers_and_store(self):
+        args = build_parser().parse_args(
+            ["run", "E12", "--workers", "4", "--store", "/tmp/rstore"]
+        )
+        assert args.workers == 4
+        assert args.store == "/tmp/rstore"
+
+    def test_parser_defaults_stay_legacy(self):
+        args = build_parser().parse_args(["run", "E12"])
+        assert args.workers == 1
+        assert args.store is None
+
+    def test_parser_rejects_non_positive_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E12", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E12", "--workers", "-2"])
+
+    def test_parallel_stdout_identical_to_serial(self, tmp_path, capsys):
+        assert main(["run", "E12", "E7", "--workers", "1", "--store", str(tmp_path / "a")]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["run", "E12", "E7", "--workers", "2", "--store", str(tmp_path / "b")]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert "[E12] computed" in serial_out
+
+    def test_second_store_run_hits_cache(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run", "E12", "--quiet", "--store", store]) == 0
+        assert "[E12] computed" in capsys.readouterr().out
+        assert main(["run", "E12", "--quiet", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "[E12] cached" in out
+        assert "computed" not in out
+
+    def test_seed_override_changes_cache_slot(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["run", "E12", "--quiet", "--store", store])
+        capsys.readouterr()
+        main(["run", "E12", "--quiet", "--seed", "3", "--store", store])
+        assert "[E12] computed" in capsys.readouterr().out
+
+    def test_runtime_json_matches_legacy_json(self, tmp_path):
+        legacy_path = tmp_path / "legacy.json"
+        runtime_path = tmp_path / "runtime.json"
+        main(["run", "E12", "--quiet", "--json", str(legacy_path)])
+        main(
+            [
+                "run",
+                "E12",
+                "--quiet",
+                "--store",
+                str(tmp_path / "store"),
+                "--json",
+                str(runtime_path),
+            ]
+        )
+        assert json.loads(runtime_path.read_text()) == json.loads(
+            legacy_path.read_text()
+        )
+
+    def test_runtime_accepts_registered_scenario_names(self, tmp_path, capsys):
+        from repro.runtime import register_scenario, unregister_scenario
+
+        register_scenario("cli-tiny", runner="E12", params={"t": 2}, seed=1)
+        try:
+            assert main(["run", "cli-tiny", "--quiet", "--store", str(tmp_path)]) == 0
+            assert "[cli-tiny] computed" in capsys.readouterr().out
+        finally:
+            unregister_scenario("cli-tiny")
+
+    def test_scenario_names_rejected_on_legacy_path(self):
+        with pytest.raises(SystemExit):
+            resolve_experiment_ids(["cli-unknown"])
+
+
+class TestScenariosCommand:
+    def test_lists_paper_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENT_REGISTRY:
+            assert experiment_id in out
+
+    def test_shows_one_scenario(self, capsys):
+        assert main(["scenarios", "E12"]) == 0
+        out = capsys.readouterr().out
+        assert "runner:       E12" in out
+        assert "fingerprint=" in out
+
+    def test_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "nope"])
+
+    def test_tag_filter(self, capsys):
+        assert main(["scenarios", "--tag", "no-such-tag"]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+
 class TestMainEntryPoint:
     def test_list_returns_zero(self, capsys):
         assert main(["list"]) == 0

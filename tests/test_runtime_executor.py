@@ -1,0 +1,151 @@
+"""Tests for the sharded executor: determinism, caching, ordered merging."""
+
+from repro.experiments.experiment_defs import run_e12_infotheory
+from repro.experiments.harness import SweepRunner
+from repro.runtime.executor import (
+    STATUS_CACHED,
+    STATUS_COMPUTED,
+    TaskExecutor,
+    parallel_map,
+    run_cached,
+)
+from repro.runtime.scenarios import freeze_params
+from repro.runtime.store import ResultStore
+from repro.runtime.tasks import RuntimeTask
+
+import pytest
+
+
+def grid_tasks():
+    """A small, cheap scenario grid: E12 at two gadget sizes x two seeds."""
+    return [
+        RuntimeTask(
+            key=f"E12[t={t},seed={seed}]",
+            runner="E12",
+            params=freeze_params({"t": t}),
+            seed=seed,
+        )
+        for t in (2, 3)
+        for seed in (1, 2)
+    ]
+
+
+def render_report(report):
+    return "\n".join(
+        f"{outcome.task.key}:{outcome.status}\n{outcome.result().render()}"
+        for outcome in report.outcomes
+    )
+
+
+def _square(value):
+    """Module-level so the process pool can pickle it."""
+    return value * value
+
+
+def _sweep_row(setting):
+    """Module-level sweep runner returning one table row."""
+    return (setting["x"], setting["x"] * 10)
+
+
+class TestParallelSerialParity:
+    def test_parallel_output_identical_to_serial(self):
+        tasks = grid_tasks()
+        serial = TaskExecutor(workers=1).run(tasks)
+        parallel = TaskExecutor(workers=4).run(tasks)
+        assert render_report(serial) == render_report(parallel)
+        assert [o.task.key for o in parallel.outcomes] == [t.key for t in tasks]
+
+    def test_parallel_map_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=4) == [i * i for i in items]
+        assert parallel_map(_square, items, workers=1) == [i * i for i in items]
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            TaskExecutor(workers=0)
+
+
+class TestStoreIntegration:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        tasks = grid_tasks()
+        store = ResultStore(tmp_path)
+        first = TaskExecutor(workers=2, store=store).run(tasks)
+        assert first.counts() == {STATUS_COMPUTED: len(tasks), STATUS_CACHED: 0}
+
+        second = TaskExecutor(workers=2, store=ResultStore(tmp_path)).run(tasks)
+        assert second.counts() == {STATUS_COMPUTED: 0, STATUS_CACHED: len(tasks)}
+        assert render_report(first).replace(STATUS_COMPUTED, STATUS_CACHED) == (
+            render_report(second)
+        )
+
+    def test_partial_cache_mixes_statuses(self, tmp_path):
+        tasks = grid_tasks()
+        store = ResultStore(tmp_path)
+        TaskExecutor(store=store).run(tasks[:2])
+        report = TaskExecutor(store=ResultStore(tmp_path)).run(tasks)
+        statuses = [outcome.status for outcome in report.outcomes]
+        assert statuses == [
+            STATUS_CACHED,
+            STATUS_CACHED,
+            STATUS_COMPUTED,
+            STATUS_COMPUTED,
+        ]
+
+    def test_cached_results_match_computed(self, tmp_path):
+        tasks = grid_tasks()[:2]
+        fresh = TaskExecutor().run(tasks)
+        TaskExecutor(store=ResultStore(tmp_path)).run(tasks)
+        cached = TaskExecutor(store=ResultStore(tmp_path)).run(tasks)
+        for before, after in zip(fresh.outcomes, cached.outcomes):
+            assert before.result().render() == after.result().render()
+            assert before.result().findings == after.result().findings
+
+
+class TestFailureSemantics:
+    def bad_task(self):
+        return RuntimeTask(
+            key="bad", runner="E12", params=freeze_params({"bogus": 1}), seed=1
+        )
+
+    def test_failed_batch_keeps_completed_results(self, tmp_path):
+        """Tasks finished before a failure are persisted — the sweep resumes."""
+        store = ResultStore(tmp_path)
+        good = grid_tasks()[0]
+        with pytest.raises(TypeError):
+            TaskExecutor(store=store).run([good, self.bad_task()])
+        assert good in store
+        report = TaskExecutor(store=ResultStore(tmp_path)).run([good])
+        assert report.counts()[STATUS_CACHED] == 1
+
+    def test_task_errors_propagate_in_parallel(self):
+        """A task's own exception is not swallowed by the sandbox fallback."""
+        with pytest.raises(TypeError):
+            TaskExecutor(workers=2).run([grid_tasks()[0], self.bad_task()])
+
+
+class TestRunCached:
+    def test_registry_function_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result, status = run_cached(run_e12_infotheory, {"t": 2, "seed": 9}, store)
+        assert status == STATUS_COMPUTED
+        again, status = run_cached(run_e12_infotheory, {"t": 2, "seed": 9}, store)
+        assert status == STATUS_CACHED
+        assert again.render() == result.render()
+
+    def test_shares_fingerprints_with_cli_tasks(self, tmp_path):
+        """A benchmark-cached call hits the cache a CLI run populated."""
+        store = ResultStore(tmp_path)
+        task = RuntimeTask(
+            key="E12", runner="E12", params=freeze_params({"t": 2}), seed=9
+        )
+        TaskExecutor(store=store).run([task])
+        _, status = run_cached(run_e12_infotheory, {"t": 2, "seed": 9}, store)
+        assert status == STATUS_CACHED
+
+
+class TestSweepRunnerSharding:
+    def test_parallel_sweep_matches_serial(self):
+        settings = [{"x": x} for x in range(8)]
+        serial = SweepRunner(["x", "y"]).run(settings, _sweep_row)
+        parallel = SweepRunner(["x", "y"]).run(settings, _sweep_row, workers=4)
+        assert parallel.render() == serial.render()

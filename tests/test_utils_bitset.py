@@ -72,6 +72,20 @@ class TestSizeAndOps:
         assert bitset_difference(0b11, 0b1100) == 0b11
 
 
+class TestPopcountImplementations:
+    def test_fallback_matches_fast_path(self):
+        from repro.utils.bitset import _popcount_fallback
+
+        for mask in (0, 1, 0b101101, (1 << 200) - 1, 1 << 999):
+            assert _popcount_fallback(mask) == bitset_size(mask)
+
+    def test_large_sparse_iteration(self):
+        # The lowest-set-bit iteration must stay O(popcount) semantics-wise:
+        # three bits far apart come back sorted without scanning the gaps.
+        mask = (1 << 5) | (1 << 3000) | (1 << 70000)
+        assert list(iter_bits(mask)) == [5, 3000, 70000]
+
+
 class TestUniverseMask:
     def test_zero_universe(self):
         assert universe_mask(0) == 0

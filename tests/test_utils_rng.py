@@ -1,6 +1,29 @@
 """Unit tests for the seeded random source."""
 
-from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.rng import RandomSource, derive_seed, spawn_rng
+
+
+class TestDeriveSeed:
+    def test_value_only_dependence(self):
+        """Derivation depends only on (root, path) — never on call history."""
+        first = derive_seed(5, "stream", "a")
+        for _ in range(10):
+            derive_seed(5, "stream", "b")
+        assert derive_seed(5, "stream", "a") == first
+
+    def test_int_and_str_components_mix(self):
+        assert derive_seed(5, 1, "a") != derive_seed(5, "1a")
+        assert derive_seed(5, 1, "a") == derive_seed(5, "1", "a")
+
+    def test_encoding_is_injective(self):
+        """A component containing the separator cannot fake two components."""
+        assert derive_seed(7, "a:b") != derive_seed(7, "a", "b")
+        assert derive_seed(7, "a|1:b") != derive_seed(7, "a", "b")
+        assert derive_seed(7, "ab", "") != derive_seed(7, "a", "b")
+
+    def test_usable_as_random_source_seed(self):
+        seed = derive_seed(5, "x")
+        assert RandomSource(seed).random() == RandomSource(seed).random()
 
 
 class TestDeterminism:
