@@ -52,6 +52,13 @@ from repro.workloads import (
     zipfian_instance,
     coverage_workload,
 )
+from repro.kernels import (
+    HAS_NUMPY,
+    PyIntKernel,
+    available_backends,
+    make_kernel,
+    resolve_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -82,5 +89,10 @@ __all__ = [
     "plant_cover_instance",
     "zipfian_instance",
     "coverage_workload",
+    "HAS_NUMPY",
+    "PyIntKernel",
+    "available_backends",
+    "make_kernel",
+    "resolve_backend",
     "__version__",
 ]

@@ -86,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persistent result-store directory; repeated runs skip cached tasks",
     )
+    run_parser.add_argument(
+        "--chunksize",
+        type=_positive_int,
+        default=None,
+        help="tasks per worker IPC round trip (default: auto, ~4 chunks per worker)",
+    )
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="list the registered runtime scenarios"
@@ -156,6 +162,7 @@ def run_experiments_runtime(
     seed: Optional[int] = None,
     workers: int = 1,
     store_dir: Optional[str] = None,
+    chunksize: Optional[int] = None,
     printer: Callable[[str], None] = print,
     quiet: bool = False,
 ) -> List[ExperimentResult]:
@@ -171,7 +178,7 @@ def run_experiments_runtime(
     for experiment_id in experiment_ids:
         tasks.extend(tasks_from_scenario(get_scenario(experiment_id), seed_override=seed))
     store = ResultStore(store_dir) if store_dir else None
-    report = TaskExecutor(workers=workers, store=store).run(tasks)
+    report = TaskExecutor(workers=workers, store=store, chunksize=chunksize).run(tasks)
     results: List[ExperimentResult] = []
     for outcome in report.outcomes:
         result = outcome.result()
@@ -240,6 +247,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             workers=args.workers,
             store_dir=args.store,
+            chunksize=args.chunksize,
             quiet=args.quiet,
         )
     else:

@@ -23,14 +23,14 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.element_sampling import element_sample, sampling_probability
+from repro.core.element_sampling import element_sample_mask, sampling_probability
 from repro.exceptions import InfeasibleInstanceError
 from repro.setcover.exact import exact_set_cover
 from repro.setcover.greedy import greedy_set_cover
 from repro.setcover.instance import SetSystem
 from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
 from repro.streaming.stream import SetStream
-from repro.utils.bitset import bitset_from_iterable, bitset_size, bitset_to_set
+from repro.utils.bitset import bitset_size
 from repro.utils.rng import RandomSource, SeedLike, spawn_rng
 
 
@@ -118,12 +118,18 @@ class StreamingSetCover(StreamingAlgorithm):
 
         # ------------------------------------------------------------------
         # Pass 1: pruning — pick every set covering >= n / (eps * opt_guess)
-        # still-uncovered elements.
+        # still-uncovered elements.  One batched kernel call computes every
+        # gain against the pass-entry universe; gains only shrink as picks
+        # land, so sets below the threshold up front can never cross it and
+        # only the surviving candidates are re-checked in arrival order.
         # ------------------------------------------------------------------
         threshold = n / (cfg.epsilon * cfg.opt_guess)
-        for set_index, mask in stream.iterate_pass():
-            if set_index in chosen:
+        system = stream.batched_pass()
+        entry_gains = system.kernel().gains(uncovered_mask)
+        for set_index in stream.arrival_order:
+            if set_index in chosen or entry_gains[set_index] < threshold:
                 continue
+            mask = system.mask(set_index)
             gain = bitset_size(mask & uncovered_mask)
             if gain >= threshold:
                 chosen.add(set_index)
@@ -145,21 +151,20 @@ class StreamingSetCover(StreamingAlgorithm):
                 rho=rho,
                 constant=cfg.sampling_constant,
             )
-            sampled_universe = element_sample(
-                bitset_to_set(uncovered_mask), probability, seed=self._rng.spawn()
+            sampled_mask = element_sample_mask(
+                uncovered_mask, probability, seed=self._rng.spawn()
             )
-            sampled_mask = bitset_from_iterable(sampled_universe)
-            metadata["sample_sizes"].append(len(sampled_universe))
-            self.space.set_usage("sampled_universe", len(sampled_universe))
+            sample_size = bitset_size(sampled_mask)
+            metadata["sample_sizes"].append(sample_size)
+            self.space.set_usage("sampled_universe", sample_size)
 
-            # Pass: store the projection of every set onto the sampled universe.
-            projected_masks: List[int] = [0] * m
-            stored_incidences = 0
-            for set_index, mask in stream.iterate_pass():
-                projection = mask & sampled_mask
-                projected_masks[set_index] = projection
-                stored_incidences += bitset_size(projection)
-                self.space.set_usage("stored_incidences", stored_incidences)
+            # Pass: store the projection of every set onto the sampled
+            # universe — one batched kernel call; the incidence count is the
+            # popcount of the rows it already produced.
+            system = stream.batched_pass()
+            projected_masks: List[int] = system.kernel().restrict(sampled_mask)
+            stored_incidences = sum(bitset_size(mask) for mask in projected_masks)
+            self.space.set_usage("stored_incidences", stored_incidences)
             metadata["stored_incidences_per_round"].append(stored_incidences)
 
             # Offline: cover the sampled universe optimally (computation free).
@@ -168,10 +173,8 @@ class StreamingSetCover(StreamingAlgorithm):
             )
 
             # Pass: shrink the uncovered universe by the chosen (full) sets.
-            round_set = set(round_solution)
-            for set_index, mask in stream.iterate_pass():
-                if set_index in round_set:
-                    uncovered_mask &= ~mask
+            system = stream.batched_pass()
+            uncovered_mask &= ~system.coverage_mask(round_solution)
             for set_index in round_solution:
                 if set_index not in chosen:
                     chosen.add(set_index)
@@ -238,12 +241,20 @@ class StreamingSetCover(StreamingAlgorithm):
         chosen: set,
         solution: List[int],
     ) -> int:
-        """Greedily cover whatever is left in one extra pass."""
-        for set_index, mask in stream.iterate_pass():
+        """Greedily cover whatever is left in one extra pass.
+
+        Batched like the pruning pass: sets disjoint from the pass-entry
+        uncovered universe stay disjoint as it shrinks, so one kernel call
+        prunes them and only live candidates are re-checked in arrival order.
+        """
+        system = stream.batched_pass()
+        entry_gains = system.kernel().gains(uncovered_mask)
+        for set_index in stream.arrival_order:
             if uncovered_mask == 0:
                 break
-            if set_index in chosen:
+            if set_index in chosen or entry_gains[set_index] == 0:
                 continue
+            mask = system.mask(set_index)
             if mask & uncovered_mask:
                 chosen.add(set_index)
                 solution.append(set_index)

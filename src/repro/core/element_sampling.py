@@ -14,8 +14,9 @@ of its α iterations with ``ρ = n^{-1/α}``.
 from __future__ import annotations
 
 import math
-from typing import FrozenSet, Iterable, Set
+from typing import FrozenSet, Iterable
 
+from repro.utils.bitset import bitset_to_set
 from repro.utils.rng import RandomSource, SeedLike, spawn_rng
 
 
@@ -59,12 +60,52 @@ def element_sample(
     probability: float,
     seed: SeedLike = None,
 ) -> FrozenSet[int]:
-    """Keep each element independently with the given probability."""
+    """Keep each element independently with the given probability.
+
+    The per-element Bernoulli draws come from ``seed``'s stream in iteration
+    order of ``elements``, batched through
+    :meth:`~repro.utils.rng.RandomSource.random_batch` — bit-identical to one
+    sequential ``bernoulli`` call per element (same kept set, same stream
+    advancement), just without the per-element Python dispatch.
+    """
     if not 0.0 <= probability <= 1.0:
         raise ValueError(f"probability must lie in [0, 1], got {probability}")
     rng: RandomSource = spawn_rng(seed)
-    kept: Set[int] = set()
-    for element in elements:
-        if probability >= 1.0 or rng.bernoulli(probability):
-            kept.add(element)
-    return frozenset(kept)
+    if probability >= 1.0:
+        # The sequential loop short-circuits the draw at p = 1, so the batch
+        # path must not consume from the stream either.
+        return frozenset(elements)
+    order = list(elements)
+    draws = rng.random_batch(len(order))
+    return frozenset(
+        element for element, draw in zip(order, draws) if draw < probability
+    )
+
+
+def element_sample_mask(
+    mask: int,
+    probability: float,
+    seed: SeedLike = None,
+) -> int:
+    """Mask-in/mask-out variant of :func:`element_sample`.
+
+    Takes the candidate universe as a bitset and returns the sampled subset
+    as a bitset, skipping the frozenset round trip at the call site (this is
+    the form Algorithm 1's per-round sampling uses).  Output and stream
+    consumption are identical to
+    ``element_sample(bitset_to_set(mask), probability, seed)`` — the draws
+    are deliberately made in that set's iteration order, not ascending bit
+    order, so existing seeded runs reproduce byte for byte.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must lie in [0, 1], got {probability}")
+    rng: RandomSource = spawn_rng(seed)
+    if probability >= 1.0:
+        return mask
+    order = list(bitset_to_set(mask))
+    draws = rng.random_batch(len(order))
+    sampled = 0
+    for element, draw in zip(order, draws):
+        if draw < probability:
+            sampled |= 1 << element
+    return sampled

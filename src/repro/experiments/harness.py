@@ -62,13 +62,14 @@ class SweepRunner:
         settings: Iterable[Dict[str, Any]],
         runner: Callable[[Dict[str, Any]], Sequence[Any]],
         workers: int = 1,
+        chunksize: Optional[int] = None,
     ) -> Table:
         """Apply ``runner`` to each setting dict; each call returns one row."""
         ordered = list(settings)
         if workers > 1:
             from repro.runtime.executor import parallel_map
 
-            rows = parallel_map(runner, ordered, workers=workers)
+            rows = parallel_map(runner, ordered, workers=workers, chunksize=chunksize)
         else:
             rows = [runner(setting) for setting in ordered]
         for row in rows:

@@ -1,0 +1,115 @@
+"""Pluggable compute kernels for the coverage arithmetic hot path.
+
+Every :class:`~repro.setcover.SetSystem` delegates its batched primitives
+(per-set marginal gains, projections, element frequencies) to a
+:class:`~repro.kernels.base.Kernel`.  Two interchangeable backends exist:
+
+``python``
+    :class:`~repro.kernels.pyint.PyIntKernel` — pure Python int bitsets, the
+    seed implementation, always available.
+``numpy``
+    :class:`~repro.kernels.numpy_backend.NumpyKernel` — packed ``uint64``
+    incidence matrix with vectorized popcount gains.  Requires NumPy
+    (``pip install -e .[perf]``).
+
+Backend selection (:func:`resolve_backend`):
+
+* ``backend="python"`` / ``backend="numpy"`` force a backend (forcing NumPy
+  without NumPy installed raises :class:`ValueError`);
+* ``backend="auto"`` (the default everywhere) picks NumPy when it is
+  installed **and** the incidence matrix is large (``n·m`` at least
+  :data:`AUTO_NUMPY_THRESHOLD` cells — below that, packing overhead beats the
+  vectorization win), falling back to pure Python otherwise;
+* the ``REPRO_KERNEL`` environment variable (``python``/``numpy``/``auto``)
+  overrides the *auto* choice without touching call sites — handy for
+  benchmarking both backends on the same workload.
+
+Both backends are output-identical bit for bit; only wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+from repro.kernels.base import Kernel
+from repro.kernels.pyint import PyIntKernel
+
+try:  # NumPy is an optional [perf] extra; everything degrades gracefully.
+    import numpy  # noqa: F401
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via monkeypatched tests
+    HAS_NUMPY = False
+
+#: Names accepted by ``backend=`` parameters throughout the library.
+BACKENDS = ("auto", "python", "numpy")
+
+#: Minimum ``n·m`` (incidence-matrix cells) for *auto* to pick NumPy: below
+#: this, packing the matrix costs more than the vectorized ops save.
+AUTO_NUMPY_THRESHOLD = 1 << 16
+
+#: Environment variable overriding the *auto* backend choice.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+
+def available_backends() -> List[str]:
+    """The concrete backends usable in this environment."""
+    return ["python", "numpy"] if HAS_NUMPY else ["python"]
+
+
+def resolve_backend(backend: str = "auto", universe_size: int = 0, num_sets: int = 0) -> str:
+    """Resolve a backend request into a concrete backend name.
+
+    ``auto`` consults the :data:`KERNEL_ENV_VAR` environment variable first,
+    then picks NumPy for large systems when available.  An explicit
+    ``"numpy"`` request without NumPy installed raises; an environment-level
+    ``numpy`` hint degrades silently (the env var is advisory, call sites
+    must keep working on a NumPy-less install).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend == "python":
+        return "python"
+    if backend == "numpy":
+        if not HAS_NUMPY:
+            raise ValueError(
+                "backend 'numpy' requested but NumPy is not installed; "
+                "install the [perf] extra or use backend='auto'"
+            )
+        return "numpy"
+    hint = os.environ.get(KERNEL_ENV_VAR, "auto").strip().lower() or "auto"
+    if hint not in BACKENDS:
+        raise ValueError(
+            f"{KERNEL_ENV_VAR} must be one of {BACKENDS}, got {hint!r}"
+        )
+    if hint == "python":
+        return "python"
+    if hint == "numpy" and HAS_NUMPY:
+        return "numpy"
+    if HAS_NUMPY and universe_size * num_sets >= AUTO_NUMPY_THRESHOLD:
+        return "numpy"
+    return "python"
+
+
+def make_kernel(universe_size: int, masks: Sequence[int], backend: str = "auto") -> Kernel:
+    """Build the kernel for a mask list, resolving ``backend`` first."""
+    resolved = resolve_backend(backend, universe_size=universe_size, num_sets=len(masks))
+    if resolved == "numpy":
+        from repro.kernels.numpy_backend import NumpyKernel
+
+        return NumpyKernel(universe_size, masks)
+    return PyIntKernel(universe_size, masks)
+
+
+__all__ = [
+    "AUTO_NUMPY_THRESHOLD",
+    "BACKENDS",
+    "HAS_NUMPY",
+    "KERNEL_ENV_VAR",
+    "Kernel",
+    "PyIntKernel",
+    "available_backends",
+    "make_kernel",
+    "resolve_backend",
+]

@@ -21,6 +21,7 @@ from repro.runtime.executor import (
     STATUS_COMPUTED,
     TaskExecutor,
     TaskOutcome,
+    default_chunksize,
     parallel_map,
     run_cached,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "freeze_params",
     "get_scenario",
     "iter_scenarios",
+    "default_chunksize",
     "parallel_map",
     "register_grid",
     "register_scenario",

@@ -2,10 +2,12 @@
 
 The executor partitions a list of :class:`~repro.runtime.tasks.RuntimeTask`
 into store hits (skipped) and pending work, runs the pending tasks either
-serially or across N worker processes, and merges the outcomes back **in
-submission order**.  Because every task carries its own derived seed and the
-merge order is input order (never completion order), a parallel run's output
-is byte-identical to the serial run's.
+serially or across N worker processes — shipped in contiguous chunks to
+amortise per-task pickle/IPC overhead on large scenario grids — and merges
+the outcomes back **in submission order**.  Because every task carries its
+own derived seed and the merge order is input order (never completion order
+or chunk boundaries), a parallel run's output is byte-identical to the
+serial run's for any ``chunksize``.
 
 Also exposes :func:`parallel_map`, the lower-level ordered process-pool map
 that :class:`repro.experiments.harness.SweepRunner` uses to shard a
@@ -15,6 +17,7 @@ benchmark harness wraps experiment calls in.
 
 from __future__ import annotations
 
+import math
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -77,27 +80,59 @@ def _timed_execute(task: RuntimeTask) -> Tuple[Dict[str, Any], float]:
     return payload, time.time() - started
 
 
+def _timed_execute_chunk(
+    tasks: List[RuntimeTask],
+) -> List[Tuple[Dict[str, Any], float]]:
+    """Worker entry point for a chunk: one IPC round trip, many tasks."""
+    return [_timed_execute(task) for task in tasks]
+
+
+def default_chunksize(pending: int, workers: int) -> int:
+    """Chunk size used when the caller does not pick one explicitly.
+
+    Aims for ~4 chunks per worker: large enough to amortise the per-task
+    pickle/IPC round trip on big scenario grids, small enough that a slow
+    chunk cannot starve the pool of work.
+    """
+    if pending <= 0:
+        return 1
+    return max(1, math.ceil(pending / (max(workers, 1) * 4)))
+
+
 class TaskExecutor:
     """Runs task batches serially or across worker processes, with caching.
 
     ``workers=1`` (the default) runs in-process; ``workers=N`` shards pending
-    tasks over a :class:`ProcessPoolExecutor`.  If a pool cannot be created
-    (restricted sandboxes), execution silently degrades to serial — the
-    output is identical either way, only wall-clock changes.
+    tasks over a :class:`ProcessPoolExecutor`, submitting them in contiguous
+    chunks (``chunksize`` tasks per IPC round trip; an auto heuristic when
+    unset) to cut per-task overhead on large grids.  If a pool cannot be
+    created (restricted sandboxes), execution silently degrades to serial —
+    the output is identical either way (merging is by submission order, never
+    completion order), only wall-clock changes.
     """
 
-    def __init__(self, workers: int = 1, store: Optional[ResultStore] = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        store: Optional[ResultStore] = None,
+        chunksize: Optional[int] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.workers = workers
         self.store = store
+        self.chunksize = chunksize
 
     def run(self, tasks: Iterable[RuntimeTask]) -> RunReport:
         """Execute the batch and return submission-ordered outcomes.
 
         Computed results are persisted to the store *as each task finishes*
-        (not after the whole batch), so an interrupted or partially failing
-        sweep resumes from every task that completed before the failure.
+        (serial runs) or as each chunk of tasks finishes (sharded runs) —
+        never only after the whole batch — so an interrupted or partially
+        failing sweep resumes from the work that completed before the
+        failure.
         """
         ordered = list(tasks)
         outcomes: Dict[int, TaskOutcome] = {}
@@ -127,62 +162,79 @@ class TaskExecutor:
         """Yield ``(index, task, payload, elapsed)`` as tasks finish.
 
         Completion order, not submission order — the caller persists each
-        result eagerly and re-sorts by index afterwards.  Worker-spawn
-        failure (restricted sandboxes) degrades to the serial path; a task's
-        own exception propagates unchanged.
+        result eagerly and re-sorts by index afterwards.  Tasks ship to the
+        workers in contiguous chunks so a large grid pays one pickle/IPC
+        round trip per chunk instead of per task.  Worker-spawn failure
+        (restricted sandboxes) degrades to the serial path; a task's own
+        exception propagates unchanged.
         """
         if self.workers <= 1 or len(pending) <= 1:
             for index, task in pending:
                 payload, elapsed = _timed_execute(task)
                 yield index, task, payload, elapsed
             return
+        size = self.chunksize or default_chunksize(len(pending), self.workers)
+        chunks = [pending[start : start + size] for start in range(0, len(pending), size)]
         try:
             # Worker processes spawn lazily at submit time, so the first
             # submit is the probe for "can this environment fork at all".
-            pool = ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
-            first_index, first_task = pending[0]
-            future_info = {pool.submit(_timed_execute, first_task): (first_index, first_task)}
+            pool = ProcessPoolExecutor(max_workers=min(self.workers, len(chunks)))
+            first_chunk = chunks[0]
+            future_info = {
+                pool.submit(_timed_execute_chunk, [task for _, task in first_chunk]): first_chunk
+            }
         except OSError:  # pragma: no cover - sandbox fallback
             for index, task in pending:
                 payload, elapsed = _timed_execute(task)
                 yield index, task, payload, elapsed
             return
         with pool:
-            for index, task in pending[1:]:
-                future_info[pool.submit(_timed_execute, task)] = (index, task)
+            for chunk in chunks[1:]:
+                future = pool.submit(_timed_execute_chunk, [task for _, task in chunk])
+                future_info[future] = chunk
             for future in as_completed(future_info):
-                index, task = future_info[future]
-                payload, elapsed = future.result()
-                yield index, task, payload, elapsed
+                chunk = future_info[future]
+                for (index, task), (payload, elapsed) in zip(chunk, future.result()):
+                    yield index, task, payload, elapsed
 
 
 def parallel_map(
     func: Callable[[ItemT], ResultT],
     items: Sequence[ItemT],
     workers: int = 1,
+    chunksize: Optional[int] = None,
 ) -> List[ResultT]:
     """Ordered map over ``items``, sharded across processes when asked.
 
-    Results always come back in input order (``ProcessPoolExecutor.map``
-    preserves it), so callers see serial semantics regardless of ``workers``.
-    ``func`` and the items must be picklable when ``workers > 1``; environments
-    that cannot fork/spawn degrade to the serial path.
+    Results always come back in input order, so callers see serial semantics
+    regardless of ``workers``.  ``chunksize`` batches consecutive items into
+    one IPC round trip (``None`` picks :func:`default_chunksize`); merging
+    stays submission-ordered either way.  ``func`` and the items must be
+    picklable when ``workers > 1``; environments that cannot fork/spawn
+    degrade to the serial path.
     """
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         return [func(item) for item in items]
+    size = chunksize or default_chunksize(len(items), workers)
+    chunks = [items[start : start + size] for start in range(0, len(items), size)]
     try:
         # Worker processes spawn lazily at submit time, so the first submit
         # probes whether this environment can fork at all; only that spawn
         # failure triggers the serial fallback — a task's own exception
         # (even an OSError) propagates from future.result() unchanged.
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(items)))
-        first = pool.submit(func, items[0])
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+        first = pool.submit(_map_chunk, func, chunks[0])
     except OSError:  # pragma: no cover - sandbox fallback
         return [func(item) for item in items]
     with pool:
-        futures = [first] + [pool.submit(func, item) for item in items[1:]]
-        return [future.result() for future in futures]
+        futures = [first] + [pool.submit(_map_chunk, func, chunk) for chunk in chunks[1:]]
+        return [result for future in futures for result in future.result()]
+
+
+def _map_chunk(func: Callable[[ItemT], ResultT], chunk: List[ItemT]) -> List[ResultT]:
+    """Apply ``func`` to one chunk inside a worker process."""
+    return [func(item) for item in chunk]
 
 
 def run_cached(

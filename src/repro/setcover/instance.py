@@ -6,6 +6,13 @@ which makes unions and uncovered-element counts cheap; the public API accepts
 and returns ordinary iterables and frozensets so callers never need to touch
 the bitset representation.
 
+Batched coverage arithmetic (per-set marginal gains, projections, element
+frequencies) is delegated to a pluggable compute kernel from
+:mod:`repro.kernels`: pure-Python int bitsets by default, a packed ``uint64``
+NumPy matrix on large systems when NumPy is installed.  The ``backend=``
+parameter controls the choice per system (``"auto"``/``"python"``/
+``"numpy"``); both backends are output-identical bit for bit.
+
 This is the shared substrate for the offline solvers, the streaming
 algorithms, the workload generators, and the lower-bound distributions.
 """
@@ -35,6 +42,10 @@ class SetSystem:
         Iterable of element iterables, one per set, in stream order.
     names:
         Optional human-readable names per set (defaults to ``S0, S1, ...``).
+    backend:
+        Compute-kernel request (``"auto"``, ``"python"`` or ``"numpy"``; see
+        :func:`repro.kernels.resolve_backend`).  Resolved lazily on the first
+        batched query, so constructing a system never requires NumPy.
     """
 
     def __init__(
@@ -42,10 +53,13 @@ class SetSystem:
         universe_size: int,
         sets: Iterable[Iterable[int]],
         names: Optional[Sequence[str]] = None,
+        backend: str = "auto",
     ) -> None:
         if universe_size < 0:
             raise ValueError(f"universe size must be non-negative, got {universe_size}")
         self._n = universe_size
+        self._backend = backend
+        self._kernel = None
         self._universe_mask = universe_mask(universe_size)
         self._masks: List[int] = []
         for index, elements in enumerate(sets):
@@ -69,9 +83,10 @@ class SetSystem:
         universe_size: int,
         masks: Sequence[int],
         names: Optional[Sequence[str]] = None,
+        backend: str = "auto",
     ) -> "SetSystem":
         """Build a system directly from bitset masks (no per-element copying)."""
-        system = cls(universe_size, [])
+        system = cls(universe_size, [], backend=backend)
         full = universe_mask(universe_size)
         for index, mask in enumerate(masks):
             if mask & ~full:
@@ -102,6 +117,24 @@ class SetSystem:
     def names(self) -> List[str]:
         """Per-set human readable names (copy)."""
         return list(self._names)
+
+    @property
+    def requested_backend(self) -> str:
+        """The backend request this system was constructed with."""
+        return self._backend
+
+    @property
+    def backend(self) -> str:
+        """The concrete kernel backend this system resolves to."""
+        return self.kernel().backend
+
+    def kernel(self):
+        """The compute kernel for this system (built lazily, then cached)."""
+        if self._kernel is None:
+            from repro.kernels import make_kernel
+
+            self._kernel = make_kernel(self._n, self._masks, self._backend)
+        return self._kernel
 
     def mask(self, index: int) -> int:
         """Return the bitset mask of the set at ``index``."""
@@ -141,6 +174,14 @@ class SetSystem:
     def __hash__(self) -> int:
         return hash((self._n, tuple(self._masks)))
 
+    def __getstate__(self) -> Dict[str, object]:
+        # Kernels may hold backend-specific buffers (NumPy matrices); rebuild
+        # them lazily on the other side instead of shipping them through
+        # pickle (process-pool workers, result stores).
+        state = dict(self.__dict__)
+        state["_kernel"] = None
+        return state
+
     def __repr__(self) -> str:
         return f"SetSystem(n={self._n}, m={self.num_sets})"
 
@@ -171,11 +212,7 @@ class SetSystem:
 
     def element_frequencies(self) -> List[int]:
         """Return, for each element, the number of sets containing it."""
-        frequencies = [0] * self._n
-        for mask in self._masks:
-            for element in bitset_to_set(mask):
-                frequencies[element] += 1
-        return frequencies
+        return self.kernel().element_frequencies()
 
     def is_coverable(self) -> bool:
         """Return True iff the union of all sets is the whole universe."""
@@ -187,10 +224,14 @@ class SetSystem:
 
         Used by the element-sampling step of Algorithm 1: the projected system
         keeps the original element indices so covers translate back directly.
+        ``elements`` may be an iterable of indices or an already-built bitset.
         """
-        keep_mask = bitset_from_iterable(elements)
+        keep_mask = elements if isinstance(elements, int) else bitset_from_iterable(elements)
         return SetSystem.from_masks(
-            self._n, [mask & keep_mask for mask in self._masks], self._names
+            self._n,
+            self.kernel().restrict(keep_mask),
+            self._names,
+            backend=self._backend,
         )
 
     def subsystem(self, indices: Sequence[int]) -> "SetSystem":
@@ -199,6 +240,7 @@ class SetSystem:
             self._n,
             [self._masks[i] for i in indices],
             [self._names[i] for i in indices],
+            backend=self._backend,
         )
 
     def permuted(self, order: Sequence[int]) -> "SetSystem":

@@ -11,6 +11,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Iterable, List, Optional, Tuple
 
+from repro.setcover.greedy import LazyGreedyPicker
 from repro.setcover.instance import SetSystem
 from repro.utils.bitset import bitset_size
 
@@ -24,26 +25,29 @@ def greedy_max_coverage(system: SetSystem, k: int) -> Tuple[List[int], int]:
     """Greedy ``(1 - 1/e)``-approximate maximum coverage.
 
     Returns the chosen indices (in pick order) and the number of covered
-    elements.
+    elements.  Uses CELF-style lazy evaluation (see
+    :mod:`repro.setcover.greedy`): stale heap gains are upper bounds by
+    submodularity, and the ``(-gain, index)`` heap key reproduces the eager
+    tie-break (smallest index among the maximum-gain sets) exactly.
     """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     chosen: List[int] = []
     covered = 0
-    available = set(range(system.num_sets))
-    for _ in range(min(k, system.num_sets)):
-        best_index = None
-        best_gain = -1
-        for index in available:
-            gain = bitset_size(system.mask(index) & ~covered)
-            if gain > best_gain or (gain == best_gain and best_index is not None and index < best_index):
-                best_gain = gain
-                best_index = index
-        if best_index is None or best_gain <= 0:
+    limit = min(k, system.num_sets)
+    if limit == 0:
+        return [], 0
+    universe = system.uncovered_mask([])
+    picker = LazyGreedyPicker(system.kernel(), universe)
+    for _ in range(limit):
+        uncovered = universe & ~covered
+        best_index, best_gain = picker.best(uncovered)
+        if best_gain <= 0:
             break
         chosen.append(best_index)
-        available.remove(best_index)
-        covered |= system.mask(best_index)
+        chosen_mask = system.mask(best_index)
+        picker.cover(chosen_mask & uncovered)
+        covered |= chosen_mask
     return chosen, bitset_size(covered)
 
 

@@ -106,6 +106,19 @@ class SetStream:
         for set_index in self._permutation:
             yield set_index, self._system.mask(set_index)
 
+    def batched_pass(self) -> SetSystem:
+        """Consume one pass and return the underlying system for batched access.
+
+        The batched equivalent of :meth:`iterate_pass`: an algorithm that can
+        phrase a whole pass as one kernel call (all marginal gains, all
+        projections) reads the system directly instead of iterating
+        ``(index, mask)`` pairs — but it still pays the pass, keeping the
+        streaming model's accounting identical to the per-set loop.  Arrival
+        order, where it matters, comes from :attr:`arrival_order`.
+        """
+        self._passes_consumed += 1
+        return self._system
+
     def reset(self) -> None:
         """Reset the pass counter (the arrival order is preserved)."""
         self._passes_consumed = 0

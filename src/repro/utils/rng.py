@@ -17,6 +17,42 @@ SeedLike = Union[None, int, random.Random, "RandomSource"]
 #: Number of bits in a derived seed (fits comfortably in a C long).
 _SEED_BITS = 64
 
+#: Minimum batch size worth routing through NumPy: below this, the MT19937
+#: state transfer (2 × 625 word conversions) costs more than it saves.
+_BATCH_NUMPY_MIN = 192
+
+
+def _batch_floats_numpy(rng: random.Random, count: int):
+    """Draw ``count`` floats from ``rng``'s MT19937 stream via NumPy, exactly.
+
+    CPython's ``random.Random`` and NumPy's legacy ``RandomState`` are both
+    MT19937 with the identical 53-bit double construction, so copying the
+    624-word state across, drawing the batch vectorized, and copying the
+    advanced state back yields *bit-identical* floats and leaves ``rng``
+    positioned exactly as ``count`` sequential ``random()`` calls would.
+    Returns None when NumPy is unavailable or the state layout is unexpected
+    (non-CPython implementations), in which case the caller falls back to the
+    sequential loop.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised on NumPy-less installs
+        return None
+    state = rng.getstate()
+    version, internal = state[0], state[1]
+    if version != 3 or len(internal) != 625:  # pragma: no cover - non-CPython
+        return None
+    mt = np.random.RandomState()
+    mt.set_state(
+        ("MT19937", np.asarray(internal[:624], dtype=np.uint32), internal[624], 0, 0.0)
+    )
+    draws = mt.random_sample(count)
+    advanced = mt.get_state()
+    rng.setstate(
+        (version, tuple(int(word) for word in advanced[1]) + (int(advanced[2]),), state[2])
+    )
+    return draws.tolist()
+
 
 def derive_seed(root: int, *path: Union[int, str]) -> int:
     """Derive a child seed from ``root`` and a path of names/indices.
@@ -93,6 +129,23 @@ class RandomSource:
     def bernoulli(self, p: float) -> bool:
         """Return True with probability p."""
         return self._rng.random() < p
+
+    def random_batch(self, count: int) -> list:
+        """Return ``count`` floats, identical to ``count`` :meth:`random` calls.
+
+        Large batches are drawn vectorized through NumPy when available (the
+        MT19937 state is transferred across and back, so the stream advances
+        exactly as the sequential loop would); small batches and NumPy-less
+        installs use the plain loop.  Either way the returned floats — and
+        every draw made from this source afterwards — are bit-identical.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count >= _BATCH_NUMPY_MIN:
+            draws = _batch_floats_numpy(self._rng, count)
+            if draws is not None:
+                return draws
+        return [self._rng.random() for _ in range(count)]
 
     def permutation(self, n: int) -> list:
         """Return a uniformly random permutation of range(n)."""

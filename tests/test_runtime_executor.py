@@ -6,6 +6,7 @@ from repro.runtime.executor import (
     STATUS_CACHED,
     STATUS_COMPUTED,
     TaskExecutor,
+    default_chunksize,
     parallel_map,
     run_cached,
 )
@@ -149,3 +150,45 @@ class TestSweepRunnerSharding:
         serial = SweepRunner(["x", "y"]).run(settings, _sweep_row)
         parallel = SweepRunner(["x", "y"]).run(settings, _sweep_row, workers=4)
         assert parallel.render() == serial.render()
+
+    def test_chunked_sweep_matches_serial(self):
+        settings = [{"x": x} for x in range(9)]
+        serial = SweepRunner(["x", "y"]).run(settings, _sweep_row)
+        chunked = SweepRunner(["x", "y"]).run(settings, _sweep_row, workers=3, chunksize=4)
+        assert chunked.render() == serial.render()
+
+
+class TestChunkedSubmission:
+    def test_chunked_output_identical_to_serial(self):
+        tasks = grid_tasks()
+        serial = TaskExecutor(workers=1).run(tasks)
+        for chunksize in (1, 2, 3, len(tasks) + 5):
+            chunked = TaskExecutor(workers=2, chunksize=chunksize).run(tasks)
+            assert render_report(chunked) == render_report(serial)
+            assert [o.task.key for o in chunked.outcomes] == [t.key for t in tasks]
+
+    def test_chunked_runs_persist_to_store(self, tmp_path):
+        tasks = grid_tasks()
+        store = ResultStore(tmp_path)
+        first = TaskExecutor(workers=2, chunksize=3, store=store).run(tasks)
+        assert first.counts()[STATUS_COMPUTED] == len(tasks)
+        second = TaskExecutor(workers=2, chunksize=3, store=ResultStore(tmp_path)).run(tasks)
+        assert second.counts() == {STATUS_COMPUTED: 0, STATUS_CACHED: len(tasks)}
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ValueError):
+            TaskExecutor(chunksize=0)
+
+    def test_parallel_map_chunked_preserves_order(self):
+        items = list(range(23))
+        for chunksize in (1, 4, 7, 50):
+            assert parallel_map(_square, items, workers=3, chunksize=chunksize) == [
+                i * i for i in items
+            ]
+
+    def test_default_chunksize_heuristic(self):
+        assert default_chunksize(0, 4) == 1
+        assert default_chunksize(3, 4) == 1
+        # ~4 chunks per worker on big grids, never zero.
+        assert default_chunksize(1000, 4) == 63
+        assert default_chunksize(5, 1) == 2
