@@ -6,6 +6,11 @@ It needs only Õ(m·n^{Θ(1/log α)}) space in the original analysis; here the
 retained state is just the uncovered universe and the solution, so its space
 is small but its approximation guarantee is log n-ish rather than α — the
 other historical point on the tradeoff curve for E11.
+
+Each pass is batched: the threshold is fixed for the duration of a pass and
+per-set gains only shrink as picks land, so one kernel call against the
+pass-entry universe prunes every set that cannot reach the threshold; only
+the surviving candidates are re-checked sequentially in arrival order.
 """
 
 from __future__ import annotations
@@ -47,11 +52,14 @@ class ProgressiveGreedyPasses(StreamingAlgorithm):
             final_pass = pass_index == self.num_passes - 1
             if final_pass:
                 threshold = 1.0
-            for set_index, mask in stream.iterate_pass():
+            system = stream.batched_pass()
+            entry_gains = system.kernel().gains(uncovered)
+            for set_index in stream.arrival_order:
                 if uncovered == 0:
                     break
-                if set_index in chosen:
+                if set_index in chosen or entry_gains[set_index] < threshold:
                     continue
+                mask = system.mask(set_index)
                 gain = bitset_size(mask & uncovered)
                 if gain >= threshold:
                     chosen.add(set_index)

@@ -79,10 +79,17 @@ class IterativePruningSetCover(StreamingAlgorithm):
             if uncovered == 0:
                 break
             # Iterative pruning pass: threshold decays with the iteration.
+            # Batched like Algorithm 1's pruning: the threshold is fixed for
+            # the pass and gains only shrink, so one kernel call rules out
+            # every set that starts below it; survivors are re-checked in
+            # arrival order against the live uncovered mask.
             threshold = n / (self.epsilon * self.opt_guess * (2 ** iteration))
-            for set_index, mask in stream.iterate_pass():
-                if set_index in chosen:
+            system = stream.batched_pass()
+            entry_gains = system.kernel().gains(uncovered)
+            for set_index in stream.arrival_order:
+                if set_index in chosen or entry_gains[set_index] < max(1.0, threshold):
                     continue
+                mask = system.mask(set_index)
                 if bitset_size(mask & uncovered) >= max(1.0, threshold):
                     chosen.add(set_index)
                     solution.append(set_index)
@@ -105,36 +112,41 @@ class IterativePruningSetCover(StreamingAlgorithm):
             metadata["sample_sizes"].append(len(sample))
             self.space.set_usage("sampled_universe", len(sample))
 
-            projections = [0] * m
+            # Pass: store every set's projection onto the sample — one
+            # batched kernel call for the per-set projection sizes; the
+            # per-arrival accounting walk keeps the space meter's (and any
+            # budget's) trajectory exactly the seed's.
+            streamed = stream.batched_pass()
+            kernel = streamed.kernel()
+            projection_sizes = kernel.gains(sample_mask)
             stored = 0
-            for set_index, mask in stream.iterate_pass():
-                projections[set_index] = mask & sample_mask
-                stored += bitset_size(projections[set_index])
+            for set_index in stream.arrival_order:
+                stored += projection_sizes[set_index]
                 self.space.set_usage("stored_incidences", stored)
             metadata["stored_incidences_per_round"].append(stored)
 
-            system = SetSystem.from_masks(n, projections)
-            target = sample_mask
-            for index in chosen:
-                target &= ~projections[index]
-            coverable = 0
-            for mask in projections:
-                coverable |= mask
-            target &= coverable
+            # Residual sample: what the chosen sets don't already cover,
+            # restricted to what any stored projection could cover.
+            target = sample_mask & ~streamed.coverage_mask(chosen)
+            target &= kernel.union()
             round_solution: List[int] = []
             if target:
                 try:
                     if self.subinstance_solver == "exact":
-                        round_solution = exact_set_cover(system, target_mask=target)
+                        projected = SetSystem.from_masks(n, kernel.restrict(sample_mask))
+                        round_solution = exact_set_cover(projected, target_mask=target)
                     else:
-                        round_solution = greedy_set_cover(system, required_mask=target)
+                        # Every gain against a subset of the sample is equal
+                        # on the projection and the full set, so greedy runs
+                        # directly on the streamed system's cached kernel —
+                        # no projected system is ever materialised.
+                        round_solution = greedy_set_cover(streamed, required_mask=target)
                 except InfeasibleInstanceError:
                     round_solution = []
 
-            round_set = set(round_solution)
-            for set_index, mask in stream.iterate_pass():
-                if set_index in round_set:
-                    uncovered &= ~mask
+            # Pass: shrink the uncovered universe by the chosen (full) sets.
+            system = stream.batched_pass()
+            uncovered &= ~system.coverage_mask(round_solution)
             for set_index in round_solution:
                 if set_index not in chosen:
                     chosen.add(set_index)
@@ -144,11 +156,16 @@ class IterativePruningSetCover(StreamingAlgorithm):
             self.space.reset_category("sampled_universe")
 
         if uncovered:
-            for set_index, mask in stream.iterate_pass():
+            # Clean-up pass, batched: sets disjoint from the pass-entry
+            # uncovered universe stay disjoint as it shrinks.
+            system = stream.batched_pass()
+            entry_gains = system.kernel().gains(uncovered)
+            for set_index in stream.arrival_order:
                 if uncovered == 0:
                     break
-                if set_index in chosen:
+                if set_index in chosen or entry_gains[set_index] == 0:
                     continue
+                mask = system.mask(set_index)
                 if mask & uncovered:
                     chosen.add(set_index)
                     solution.append(set_index)

@@ -20,7 +20,7 @@ from repro.setcover.instance import SetSystem
 from repro.setcover.maxcover import greedy_max_coverage
 from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
 from repro.streaming.stream import SetStream
-from repro.utils.bitset import bitset_from_iterable, bitset_size, bitset_to_set
+from repro.utils.bitset import bitset_from_iterable, bitset_size
 from repro.utils.rng import SeedLike, spawn_rng
 
 
@@ -61,13 +61,31 @@ class McGregorVuMaxCoverage(StreamingAlgorithm):
         sketches: List[int] = [0] * m
         true_sizes: Dict[int, int] = {}
         stored = 0
-        for set_index, mask in stream.iterate_pass():
-            elements = list(bitset_to_set(mask))
-            true_sizes[set_index] = len(elements)
-            if len(elements) > self.sketch_size:
+        system = stream.batched_pass()
+        kernel = system.kernel()
+        sizes = kernel.set_sizes()
+        # Element identities are only needed for the sets that actually get
+        # down-sampled; everything at or under the sketch size keeps its mask
+        # verbatim.  One batched unpack serves exactly the oversized sets.
+        oversized = [i for i in range(m) if sizes[i] > self.sketch_size]
+        element_lists = (
+            dict(zip(oversized, kernel.element_lists(oversized))) if oversized else {}
+        )
+        for set_index in stream.arrival_order:
+            size = sizes[set_index]
+            true_sizes[set_index] = size
+            if size > self.sketch_size:
+                # The seed draws the sample from the iteration order of a
+                # Python set built by ascending insertion; rebuilding that
+                # set from the kernel's ascending element list reproduces
+                # the exact order, hence the exact rng.sample stream.
+                elements = list(set(element_lists[set_index]))
                 elements = self._rng.sample(elements, self.sketch_size)
-            sketches[set_index] = bitset_from_iterable(elements)
-            stored += len(elements) + 1
+                sketches[set_index] = bitset_from_iterable(elements)
+                stored += self.sketch_size + 1
+            else:
+                sketches[set_index] = system.mask(set_index)
+                stored += size + 1
             self.space.set_usage("sketches", stored)
 
         sketch_system = SetSystem.from_masks(n, sketches)

@@ -6,6 +6,12 @@ still-uncovered elements (the original paper uses simple "does it help"
 heuristics; the thresholded form is the standard presentation).  One pass,
 space O(n + solution), but the approximation can be as bad as Ω(√n) on
 adversarial orders — the behaviour E11 contrasts with Algorithm 1.
+
+The pass is batched: one kernel call computes every set's gain against the
+pass-entry universe, and since gains only shrink as picks land, sets that
+start at gain 0 can never be picked — only the live candidates are re-checked
+against the current uncovered mask, in arrival order, with the seed's exact
+pick rule.
 """
 
 from __future__ import annotations
@@ -39,9 +45,14 @@ class SahaGetoorGreedy(StreamingAlgorithm):
         uncovered = (1 << n) - 1
         solution = []
         self.space.set_usage("uncovered_universe", n)
-        for set_index, mask in stream.iterate_pass():
+        system = stream.batched_pass()
+        entry_gains = system.kernel().gains(uncovered)
+        for set_index in stream.arrival_order:
             if uncovered == 0:
                 break
+            if entry_gains[set_index] == 0:
+                continue
+            mask = system.mask(set_index)
             gain = bitset_size(mask & uncovered)
             if gain == 0:
                 continue

@@ -22,7 +22,7 @@ from repro.setcover.instance import SetSystem
 from repro.setcover.maxcover import exact_max_coverage, greedy_max_coverage
 from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
 from repro.streaming.stream import SetStream
-from repro.utils.bitset import bitset_from_iterable, bitset_size
+from repro.utils.bitset import bitset_from_iterable
 from repro.utils.rng import SeedLike, spawn_rng
 
 
@@ -85,19 +85,27 @@ class StreamingMaxCoverage(StreamingAlgorithm):
         sampled_mask = bitset_from_iterable(sampled_universe)
         self.space.set_usage("sampled_universe", len(sampled_universe))
 
-        projections: List[int] = [0] * m
+        # Pass: one batched kernel call for every set's projection size; the
+        # arrival-order accounting walk keeps the space meter's trajectory
+        # identical to the per-set loop.
+        streamed = stream.batched_pass()
+        kernel = streamed.kernel()
+        projection_sizes = kernel.gains(sampled_mask)
         stored = 0
-        for set_index, mask in stream.iterate_pass():
-            projection = mask & sampled_mask
-            projections[set_index] = projection
-            stored += bitset_size(projection)
+        for set_index in stream.arrival_order:
+            stored += projection_sizes[set_index]
             self.space.set_usage("stored_incidences", stored)
 
-        system = SetSystem.from_masks(n, projections)
         if self.solver == "exact":
-            chosen, sampled_value = exact_max_coverage(system, self.k)
+            projected = SetSystem.from_masks(n, kernel.restrict(sampled_mask))
+            chosen, sampled_value = exact_max_coverage(projected, self.k)
         else:
-            chosen, sampled_value = greedy_max_coverage(system, self.k)
+            # Restricting the objective to the sample on the original system
+            # is pick-identical to solving the projected system, and reuses
+            # the streamed system's cached kernel.
+            chosen, sampled_value = greedy_max_coverage(
+                streamed, self.k, within_mask=sampled_mask
+            )
 
         # Estimate the true coverage by rescaling the sampled coverage.
         scale = 1.0 / rate if rate > 0 else 0.0

@@ -22,7 +22,6 @@ from repro.core.algorithm1 import AlgorithmOneConfig, StreamingSetCover
 from repro.core.guessing import OptGuessingSetCover
 from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
 from repro.streaming.stream import SetStream
-from repro.utils.bitset import bitset_size
 from repro.utils.rng import SeedLike
 
 
@@ -110,10 +109,10 @@ class CountingBoundEstimator(StreamingAlgorithm):
 
     def run(self, stream: SetStream) -> StreamingResult:
         n = stream.universe_size
-        largest = 0
         self.space.set_usage("counters", 2)
-        for _set_index, mask in stream.iterate_pass():
-            largest = max(largest, bitset_size(mask))
+        # One batched kernel call replaces the per-set popcount loop.
+        sizes = stream.batched_pass().kernel().set_sizes()
+        largest = max(sizes, default=0)
         if largest == 0:
             estimate = float("inf") if n > 0 else 0.0
         else:

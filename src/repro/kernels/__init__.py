@@ -92,13 +92,23 @@ def resolve_backend(backend: str = "auto", universe_size: int = 0, num_sets: int
     return "python"
 
 
-def make_kernel(universe_size: int, masks: Sequence[int], backend: str = "auto") -> Kernel:
-    """Build the kernel for a mask list, resolving ``backend`` first."""
+def make_kernel(
+    universe_size: int,
+    masks: Sequence[int],
+    backend: str = "auto",
+    packed: "bytes | None" = None,
+) -> Kernel:
+    """Build the kernel for a mask list, resolving ``backend`` first.
+
+    ``packed`` optionally supplies the masks' already-packed incidence buffer
+    (the transport wire form); the NumPy backend adopts it zero-copy instead
+    of re-packing, the pure-Python backend ignores it.
+    """
     resolved = resolve_backend(backend, universe_size=universe_size, num_sets=len(masks))
     if resolved == "numpy":
         from repro.kernels.numpy_backend import NumpyKernel
 
-        return NumpyKernel(universe_size, masks)
+        return NumpyKernel(universe_size, masks, packed=packed)
     return PyIntKernel(universe_size, masks)
 
 

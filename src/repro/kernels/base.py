@@ -2,11 +2,13 @@
 
 A kernel owns the incidence structure of a :class:`~repro.setcover.SetSystem`
 (m subsets of the universe ``[n]``) and exposes the *batched* primitives the
-solver stack is hot on: per-set marginal gains against an uncovered mask,
-batched projection onto an element subset, and per-element frequencies.  All
-masks cross the boundary as plain Python integers (bit ``i`` set means element
-``i`` present), so every backend is interchangeable and callers never see the
-internal representation.
+solver stack and the streaming layer are hot on: per-set marginal gains
+against an uncovered mask, batched projection onto an element subset,
+per-element frequencies, per-set sizes, and per-element claim resolution (the
+"which set is responsible for this element" argmax the one-pass baselines are
+built on).  All masks cross the boundary as plain Python integers (bit ``i``
+set means element ``i`` present), so every backend is interchangeable and
+callers never see the internal representation.
 
 Two backends implement the protocol:
 
@@ -17,14 +19,15 @@ Two backends implement the protocol:
   used automatically on large systems when NumPy is installed.
 
 Both backends must be *output-identical*: same gains, same projections, same
-frequencies for the same masks.  The property suite in
-``tests/property/test_prop_kernels.py`` enforces this parity on random
-systems.
+frequencies, same claim winners for the same inputs.  The property suites in
+``tests/property/test_prop_kernels.py`` and
+``tests/property/test_prop_streaming.py`` enforce this parity on random
+systems and on whole streaming runs.
 """
 
 from __future__ import annotations
 
-from typing import List, Protocol, runtime_checkable
+from typing import List, Protocol, Sequence, runtime_checkable
 
 
 @runtime_checkable
@@ -54,6 +57,40 @@ class Kernel(Protocol):
         One batched argmax — the greedy pick rule.  Ties break to the lowest
         set index; an empty system returns ``(-1, 0)``.  Callers must treat a
         returned gain of 0 as "no useful set" (the index is then arbitrary).
+        """
+
+    def restrict(self, keep: int) -> List[int]:
+        """Project every set onto ``keep``: ``[mask & keep for mask in sets]``."""
+
+    def element_frequencies(self) -> List[int]:
+        """For each element of the universe, the number of sets containing it."""
+
+    def union(self) -> int:
+        """The union of all sets as a bitset."""
+
+    def set_sizes(self) -> List[int]:
+        """Cardinality of each set, by set index."""
+
+    def element_lists(self, indices: "Sequence[int] | None" = None) -> List[List[int]]:
+        """Element identities per set, as ascending lists of plain ints.
+
+        The batched unpack replacing per-set ``iter_bits`` walks when an
+        algorithm genuinely needs element identities (e.g. sketching)
+        rather than counts.  ``indices`` restricts the unpack to those sets
+        (result aligned to ``indices`` order); None unpacks every set.
+        """
+
+    def claim_resolution(self, keys: Sequence[int]) -> List[int]:
+        """Per-element argmax over the sets containing it, scored by ``keys``.
+
+        ``keys`` assigns every set a non-negative priority; the result holds,
+        for each element of the universe, the index of the containing set
+        with the largest *positive* key — ties break to the smallest set
+        index — or ``-1`` when no containing set has a positive key (sets
+        with key 0 never claim anything).  This is the batched core of the
+        one-pass per-element bookkeeping baselines (Emek–Rosén): fold the
+        arrival-order tie-break into the key and the whole pass collapses
+        into one call.
         """
 
     def gain_tracker(self, uncovered: int) -> "GainTracker":
@@ -93,15 +130,3 @@ class GainTracker(Protocol):
         subset of the tracker's initial uncovered mask (greedy's
         ``mask & uncovered`` before shrinking guarantees both).
         """
-
-    def restrict(self, keep: int) -> List[int]:
-        """Project every set onto ``keep``: ``[mask & keep for mask in sets]``."""
-
-    def element_frequencies(self) -> List[int]:
-        """For each element of the universe, the number of sets containing it."""
-
-    def union(self) -> int:
-        """The union of all sets as a bitset."""
-
-    def set_sizes(self) -> List[int]:
-        """Cardinality of each set, by set index."""

@@ -27,10 +27,11 @@ installed.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.kernels.pyint import claim_by_descending_keys
 from repro.utils.bitset import bitset_size
 
 #: Explicit little-endian uint64 so packing matches ``int.to_bytes(..., "little")``
@@ -59,12 +60,24 @@ class NumpyKernel:
 
     backend = "numpy"
 
-    def __init__(self, universe_size: int, masks: Sequence[int]) -> None:
+    def __init__(
+        self,
+        universe_size: int,
+        masks: Sequence[int],
+        packed: Optional[bytes] = None,
+    ) -> None:
         self._n = universe_size
         self._int_masks: List[int] = list(masks)
         self._words = max(1, (universe_size + 63) // 64)
         self._row_bytes = self._words * 8
-        self._matrix = self._pack(self._int_masks)
+        if packed is not None and len(packed) == len(self._int_masks) * self._row_bytes:
+            # Zero-copy adoption of an already-packed incidence buffer (the
+            # transport path): frombuffer aliases the bytes, no re-packing.
+            self._matrix = np.frombuffer(packed, dtype=_WORD_DTYPE).reshape(
+                len(self._int_masks), self._words
+            )
+        else:
+            self._matrix = self._pack(self._int_masks)
         self._universe = (1 << universe_size) - 1
         self._inverted = None  # lazy (col_ptr, col_sets, arange) inverted index
         self._size_vector = None  # lazy int64 per-set cardinalities
@@ -149,8 +162,43 @@ class NumpyKernel:
             return []
         return _popcount_rows(self._matrix).tolist()
 
+    def element_lists(self, indices: "Sequence[int] | None" = None) -> List[List[int]]:
+        matrix = (
+            self._matrix
+            if indices is None
+            else self._matrix[np.asarray(list(indices), dtype=np.int64)]
+        )
+        m = matrix.shape[0]
+        if m == 0 or self._n == 0:
+            return [[] for _ in range(m)]
+        lists: List[List[int]] = []
+        as_bytes = np.ascontiguousarray(matrix).view(np.uint8)
+        for start in range(0, m, _FREQ_CHUNK_ROWS):
+            bits = np.unpackbits(
+                as_bytes[start : start + _FREQ_CHUNK_ROWS], axis=1, bitorder="little"
+            )[:, : self._n]
+            rows, cols = np.nonzero(bits)
+            boundaries = np.searchsorted(rows, np.arange(1, bits.shape[0]))
+            flat = cols.tolist()
+            prev = 0
+            for boundary in list(boundaries) + [len(flat)]:
+                lists.append(flat[prev:boundary])
+                prev = boundary
+        return lists
+
+    def claim_resolution(self, keys: Sequence[int]) -> List[int]:
+        # The descending-key claim sweep costs m word-ANDs plus one bit-walk
+        # over the n claimed elements; a vectorized per-(set, element) argmax
+        # would touch m·n scored cells, orders of magnitude more work.  The
+        # retained int masks make the shared implementation directly usable.
+        return claim_by_descending_keys(self._n, self._int_masks, keys)
+
     def gain_tracker(self, uncovered: int) -> "NumpyGainTracker":
         return NumpyGainTracker(self, uncovered)
+
+    def packed_bytes(self) -> bytes:
+        """The incidence matrix as one contiguous little-endian buffer."""
+        return np.ascontiguousarray(self._matrix).tobytes()
 
     def prefers_tracker(self) -> bool:
         # Once the inverted index exists (a previous run here escaped to the

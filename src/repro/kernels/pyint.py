@@ -14,6 +14,41 @@ from typing import List, Sequence
 from repro.utils.bitset import bitset_size, iter_bits
 
 
+def _iter_bits_list(mask: int) -> List[int]:
+    """Ascending element indices of ``mask`` as a list (one iter_bits walk)."""
+    return list(iter_bits(mask))
+
+
+def claim_by_descending_keys(
+    universe_size: int, masks: Sequence[int], keys: Sequence[int]
+) -> List[int]:
+    """Per-element argmax over containing sets, scored by ``keys``.
+
+    Shared by both kernel backends: visiting sets in descending ``(key,
+    -index)`` order, each set claims whatever is still unclaimed of its mask
+    — so every element ends up with the highest-key containing set, ties to
+    the smallest index, exactly the :meth:`Kernel.claim_resolution`
+    contract.  Total cost is m word-ops plus one bit-walk over the n claimed
+    elements, independent of how the claims overlap — far cheaper than any
+    per-(set, element) matrix formulation.
+    """
+    winners = [-1] * universe_size
+    unclaimed = (1 << universe_size) - 1
+    order = sorted(
+        (index for index in range(len(masks)) if keys[index] > 0),
+        key=lambda index: (-keys[index], index),
+    )
+    for index in order:
+        if not unclaimed:
+            break
+        claim = masks[index] & unclaimed
+        if claim:
+            for element in iter_bits(claim):
+                winners[element] = index
+            unclaimed ^= claim
+    return winners
+
+
 class PyIntKernel:
     """Int-bitset backend: exact, dependency-free, O(m·n/64) word ops."""
 
@@ -74,6 +109,13 @@ class PyIntKernel:
 
     def set_sizes(self) -> List[int]:
         return [bitset_size(mask) for mask in self._masks]
+
+    def element_lists(self, indices: "Sequence[int] | None" = None) -> List[List[int]]:
+        rows = self._masks if indices is None else [self._masks[i] for i in indices]
+        return [_iter_bits_list(mask) for mask in rows]
+
+    def claim_resolution(self, keys: Sequence[int]) -> List[int]:
+        return claim_by_descending_keys(self._n, self._masks, keys)
 
 
 class PyGainTracker:

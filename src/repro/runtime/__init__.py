@@ -12,7 +12,11 @@ engine:
 * :mod:`repro.runtime.executor` — sharded execution across processes with
   submission-order merging (parallel output ≡ serial output);
 * :mod:`repro.runtime.store` — content-addressed on-disk result cache giving
-  skip/resume semantics for repeated runs.
+  skip/resume semantics for repeated runs;
+* :mod:`repro.runtime.transport` — packed zero-copy instance transport:
+  systems pickle as one contiguous incidence buffer, and
+  :func:`shared_system` fans a single instance out to many tasks through
+  one :mod:`multiprocessing.shared_memory` segment.
 """
 
 from repro.runtime.executor import (
@@ -46,6 +50,12 @@ from repro.runtime.seeding import (
 )
 from repro.runtime.store import STORE_FORMAT_VERSION, ResultStore, task_fingerprint
 from repro.runtime.tasks import RuntimeTask, execute_task, tasks_from_scenario
+from repro.runtime.transport import (
+    SharedSystemHandle,
+    SharedSystemPublication,
+    publish_system,
+    shared_system,
+)
 
 __all__ = [
     "DEFAULT_ROOT_SEED",
@@ -58,6 +68,8 @@ __all__ = [
     "ScenarioGrid",
     "ScenarioSpec",
     "SeedStreams",
+    "SharedSystemHandle",
+    "SharedSystemPublication",
     "ResultStore",
     "TaskExecutor",
     "TaskOutcome",
@@ -67,12 +79,14 @@ __all__ = [
     "iter_scenarios",
     "default_chunksize",
     "parallel_map",
+    "publish_system",
     "register_grid",
     "register_scenario",
     "repetition_seed",
     "run_cached",
     "run_streams",
     "scenario_seed",
+    "shared_system",
     "stream_seed",
     "task_fingerprint",
     "tasks_from_scenario",

@@ -13,6 +13,13 @@ Also exposes :func:`parallel_map`, the lower-level ordered process-pool map
 that :class:`repro.experiments.harness.SweepRunner` uses to shard a
 parameter sweep, and :func:`run_cached`, the store-aware entry point the
 benchmark harness wraps experiment calls in.
+
+Instances embedded in tasks or map items cross the worker boundary in the
+packed wire form (:class:`~repro.setcover.PackedSetSystem`): one contiguous
+bytes buffer per system instead of per-set Python objects, adopted zero-copy
+by the worker's NumPy kernel.  Sweeps that fan a single instance out to many
+tasks can avoid even that per-task copy via
+:func:`repro.runtime.transport.shared_system`.
 """
 
 from __future__ import annotations

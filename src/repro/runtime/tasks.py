@@ -9,6 +9,7 @@ module-level entry point the process pool maps over.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -16,6 +17,7 @@ from repro.experiments.experiment_defs import EXPERIMENT_REGISTRY
 from repro.experiments.report import result_to_dict
 from repro.runtime.scenarios import ParamItems, ScenarioSpec
 from repro.runtime.seeding import repetition_seed, scenario_seed
+from repro.setcover.instance import SetSystem
 
 
 @dataclass(frozen=True)
@@ -53,9 +55,25 @@ class RuntimeTask:
 
 
 def _listify(value: Any) -> Any:
-    """Convert frozen tuples back to lists for canonical JSON hashing."""
+    """Convert frozen tuples back to lists for canonical JSON hashing.
+
+    A :class:`~repro.setcover.SetSystem` parameter (tasks that carry a
+    concrete instance rather than generator knobs) is fingerprinted by the
+    digest of its packed incidence buffer — stable across processes and
+    backends, and a few dozen bytes in the store instead of the instance.
+    The instance itself still crosses the process boundary in packed form
+    via the system's pickle support.
+    """
     if isinstance(value, tuple):
         return [_listify(item) for item in value]
+    if isinstance(value, SetSystem):
+        packed = value.to_packed()
+        digest = hashlib.sha256(packed.buffer).hexdigest()
+        return {
+            "__set_system__": digest,
+            "universe_size": packed.universe_size,
+            "num_sets": packed.num_sets,
+        }
     return value
 
 

@@ -1,0 +1,156 @@
+"""Zero-copy instance transport for the parallel runtime.
+
+Two mechanisms move a :class:`~repro.setcover.SetSystem` across the process
+boundary without pickling per-set Python objects:
+
+* **Packed pickling** (automatic): ``SetSystem.__getstate__`` serialises the
+  incidence structure as one contiguous packed ``uint64`` buffer (see
+  :class:`~repro.setcover.PackedSetSystem`), so any system embedded in a
+  task, a ``parallel_map`` item, or a result ships as a single bytes blob.
+  The receiving side's NumPy kernel adopts the buffer with one ``frombuffer``
+  — no repacking.
+
+* **Shared memory** (opt-in, this module): for sweeps that fan *one* instance
+  out to many tasks, :func:`shared_system` publishes the packed buffer once
+  into a :mod:`multiprocessing.shared_memory` segment and hands workers a
+  tiny :class:`SharedSystemHandle` (segment name + scalars).  Each worker
+  attaches and rebuilds locally, so a W-task sweep pays one buffer write
+  total instead of W pickled copies.
+
+The handle is an ordinary picklable value: put it in the per-task settings of
+a :class:`~repro.experiments.harness.SweepRunner` sweep (or any
+:func:`~repro.runtime.executor.parallel_map` item) and call
+:meth:`SharedSystemHandle.load` inside the worker.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.setcover.instance import PackedSetSystem, SetSystem, packed_row_bytes
+
+
+@dataclass(frozen=True)
+class SharedSystemHandle:
+    """A picklable reference to a set system published in shared memory.
+
+    Only scalars cross the process boundary; the incidence buffer stays in
+    the named shared-memory segment until the publisher unlinks it.
+    """
+
+    segment: str
+    universe_size: int
+    num_sets: int
+    names: Optional[Tuple[str, ...]] = None
+    backend: str = "auto"
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Size of the packed incidence buffer inside the segment."""
+        return self.num_sets * packed_row_bytes(self.universe_size)
+
+    def load(self) -> SetSystem:
+        """Attach to the segment and rebuild the system.
+
+        The worker-side entry point.  The segment is detached before
+        returning (the rebuilt system owns its own buffer), so loads never
+        pin the publisher's memory.
+        """
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(name=self.segment)
+        try:
+            buffer = bytes(block.buf[: self.buffer_bytes])
+        finally:
+            # Attaching registers the segment with multiprocessing's
+            # resource tracker, which close() does not undo on Python < 3.13
+            # (cpython #82300): without the unregister, every worker attach
+            # produces "leaked shared_memory" noise at interpreter shutdown
+            # once the publisher unlinks.  The publisher's own close() still
+            # unlinks deterministically, so dropping the tracker entry is
+            # safe.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(
+                    getattr(block, "_name", self.segment), "shared_memory"
+                )
+            except Exception:  # pragma: no cover - tracker-less platforms
+                pass
+            block.close()
+        return SetSystem.from_packed(
+            PackedSetSystem(
+                universe_size=self.universe_size,
+                num_sets=self.num_sets,
+                buffer=buffer,
+                names=self.names,
+                backend=self.backend,
+            )
+        )
+
+
+class SharedSystemPublication:
+    """Owns one published shared-memory segment for a set system.
+
+    Create via :func:`publish_system`; call :meth:`close` exactly once when
+    every consumer is done (the :func:`shared_system` context manager does
+    this automatically).
+    """
+
+    def __init__(self, system: SetSystem) -> None:
+        from multiprocessing import shared_memory
+
+        packed = system.to_packed()
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, len(packed.buffer))
+        )
+        self._shm.buf[: len(packed.buffer)] = packed.buffer
+        self.handle = SharedSystemHandle(
+            segment=self._shm.name,
+            universe_size=packed.universe_size,
+            num_sets=packed.num_sets,
+            names=packed.names,
+            backend=packed.backend,
+        )
+        self._closed = False
+
+    def close(self) -> None:
+        """Detach and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> SharedSystemHandle:
+        return self.handle
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def publish_system(system: SetSystem) -> SharedSystemPublication:
+    """Publish ``system``'s packed buffer into a shared-memory segment."""
+    return SharedSystemPublication(system)
+
+
+@contextmanager
+def shared_system(system: SetSystem) -> Iterator[SharedSystemHandle]:
+    """Context manager: publish for the duration of a sweep, then unlink.
+
+    ::
+
+        with shared_system(instance.system) as handle:
+            rows = parallel_map(run_one, [{"system": handle, **s} for s in grid],
+                                workers=8)
+    """
+    publication = publish_system(system)
+    try:
+        yield publication.handle
+    finally:
+        publication.close()

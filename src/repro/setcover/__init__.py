@@ -6,7 +6,12 @@ branch-and-bound solver used as ground truth in tests and experiments, and the
 offline maximum coverage solvers.
 """
 
-from repro.setcover.instance import SetSystem, SetCoverInstance
+from repro.setcover.instance import (
+    PackedSetSystem,
+    SetCoverInstance,
+    SetSystem,
+    packed_row_bytes,
+)
 from repro.setcover.greedy import greedy_set_cover, greedy_cover_trace
 from repro.setcover.exact import exact_set_cover, exact_cover_value, brute_force_set_cover
 from repro.setcover.maxcover import (
@@ -19,8 +24,10 @@ from repro.setcover.preprocess import PreprocessResult, preprocess
 from repro.setcover.verify import is_feasible_cover, verify_cover, uncovered_elements
 
 __all__ = [
+    "PackedSetSystem",
     "SetSystem",
     "SetCoverInstance",
+    "packed_row_bytes",
     "greedy_set_cover",
     "greedy_cover_trace",
     "exact_set_cover",

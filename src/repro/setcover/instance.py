@@ -19,7 +19,8 @@ algorithms, the workload generators, and the lower-bound distributions.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import InfeasibleInstanceError
 from repro.utils.bitset import (
@@ -29,6 +30,42 @@ from repro.utils.bitset import (
     bitset_union,
     universe_mask,
 )
+
+
+def packed_row_bytes(universe_size: int) -> int:
+    """Bytes per set row in the packed incidence buffer (uint64-aligned).
+
+    Matches the NumPy kernel's row layout exactly, so a packed buffer can be
+    adopted by :class:`~repro.kernels.numpy_backend.NumpyKernel` without any
+    repacking.
+    """
+    return max(1, (universe_size + 63) // 64) * 8
+
+
+@dataclass(frozen=True)
+class PackedSetSystem:
+    """The compact wire form of a :class:`SetSystem`.
+
+    One contiguous little-endian incidence buffer (``num_sets`` rows of
+    :func:`packed_row_bytes` bytes each) plus the scalars needed to rebuild —
+    what crosses process boundaries and shared-memory segments instead of
+    per-set Python objects.  ``names`` is None when the system uses the
+    default ``S0, S1, ...`` naming, so the common case ships no strings.
+    """
+
+    universe_size: int
+    num_sets: int
+    buffer: bytes
+    names: Optional[Tuple[str, ...]] = None
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        expected = self.num_sets * packed_row_bytes(self.universe_size)
+        if len(self.buffer) != expected:
+            raise ValueError(
+                f"packed buffer holds {len(self.buffer)} bytes, expected {expected} "
+                f"for {self.num_sets} sets over a universe of {self.universe_size}"
+            )
 
 
 class SetSystem:
@@ -60,6 +97,7 @@ class SetSystem:
         self._n = universe_size
         self._backend = backend
         self._kernel = None
+        self._packed: Optional[bytes] = None
         self._universe_mask = universe_mask(universe_size)
         self._masks: List[int] = []
         for index, elements in enumerate(sets):
@@ -133,7 +171,9 @@ class SetSystem:
         if self._kernel is None:
             from repro.kernels import make_kernel
 
-            self._kernel = make_kernel(self._n, self._masks, self._backend)
+            self._kernel = make_kernel(
+                self._n, self._masks, self._backend, packed=self._packed
+            )
         return self._kernel
 
     def mask(self, index: int) -> int:
@@ -174,13 +214,80 @@ class SetSystem:
     def __hash__(self) -> int:
         return hash((self._n, tuple(self._masks)))
 
+    # -- packed transport -------------------------------------------------
+    def _default_names(self) -> bool:
+        return all(
+            name == f"S{index}" for index, name in enumerate(self._names)
+        )
+
+    def to_packed(self) -> PackedSetSystem:
+        """Serialise into the compact packed form (see :class:`PackedSetSystem`).
+
+        When the NumPy kernel is already built its matrix is exported
+        directly; otherwise each mask is written as one fixed-width
+        little-endian row.  The inverse is :meth:`from_packed`.
+        """
+        if self._kernel is not None and hasattr(self._kernel, "packed_bytes"):
+            buffer = self._kernel.packed_bytes()
+        else:
+            stride = packed_row_bytes(self._n)
+            buffer = b"".join(mask.to_bytes(stride, "little") for mask in self._masks)
+        return PackedSetSystem(
+            universe_size=self._n,
+            num_sets=len(self._masks),
+            buffer=buffer,
+            names=None if self._default_names() else tuple(self._names),
+            backend=self._backend,
+        )
+
+    @classmethod
+    def from_packed(cls, packed: PackedSetSystem) -> "SetSystem":
+        """Rebuild a system from its packed form.
+
+        The packed buffer is retained so a NumPy kernel can adopt it without
+        repacking (one ``frombuffer`` over the transported bytes).
+        """
+        stride = packed_row_bytes(packed.universe_size)
+        buffer = packed.buffer
+        masks = [
+            int.from_bytes(buffer[row * stride : (row + 1) * stride], "little")
+            for row in range(packed.num_sets)
+        ]
+        system = cls.from_masks(
+            packed.universe_size,
+            masks,
+            list(packed.names) if packed.names is not None else None,
+            backend=packed.backend,
+        )
+        system._packed = bytes(buffer)
+        return system
+
     def __getstate__(self) -> Dict[str, object]:
-        # Kernels may hold backend-specific buffers (NumPy matrices); rebuild
-        # them lazily on the other side instead of shipping them through
-        # pickle (process-pool workers, result stores).
-        state = dict(self.__dict__)
-        state["_kernel"] = None
-        return state
+        # Ship the packed incidence buffer, not the per-set Python integers:
+        # one bytes object crosses the process boundary (pickle cost O(m·n/8)
+        # in a single memcpy-friendly blob) and the receiving side's NumPy
+        # kernel adopts it zero-copy.  Kernels are always rebuilt lazily on
+        # the other side.
+        packed = self.to_packed()
+        return {
+            "universe_size": packed.universe_size,
+            "num_sets": packed.num_sets,
+            "buffer": packed.buffer,
+            "names": packed.names,
+            "backend": packed.backend,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        rebuilt = SetSystem.from_packed(
+            PackedSetSystem(
+                universe_size=state["universe_size"],  # type: ignore[arg-type]
+                num_sets=state["num_sets"],  # type: ignore[arg-type]
+                buffer=state["buffer"],  # type: ignore[arg-type]
+                names=state["names"],  # type: ignore[arg-type]
+                backend=state["backend"],  # type: ignore[arg-type]
+            )
+        )
+        self.__dict__.update(rebuilt.__dict__)
 
     def __repr__(self) -> str:
         return f"SetSystem(n={self._n}, m={self.num_sets})"
@@ -233,6 +340,24 @@ class SetSystem:
             self._names,
             backend=self._backend,
         )
+
+    def with_patched_mask(self, index: int, extra_mask: int) -> "SetSystem":
+        """Return a new system with ``extra_mask`` OR-ed into one set.
+
+        The explicit constructor for the generators' coverability patches
+        ("union the missing elements into some set"): it never mutates this
+        system or any list derived from it, so the patch stays correct even
+        if :meth:`masks` ever returns a shared view instead of a copy.
+        """
+        if not 0 <= index < self.num_sets:
+            raise ValueError(f"set index {index} out of range [0, {self.num_sets})")
+        if extra_mask & ~self._universe_mask:
+            raise ValueError(
+                f"extra mask contains elements outside the universe [0, {self._n})"
+            )
+        patched = list(self._masks)
+        patched[index] |= extra_mask
+        return SetSystem.from_masks(self._n, patched, self._names, backend=self._backend)
 
     def subsystem(self, indices: Sequence[int]) -> "SetSystem":
         """Return a new system containing only the sets at ``indices``."""

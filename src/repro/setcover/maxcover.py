@@ -21,7 +21,9 @@ def coverage_of(system: SetSystem, indices: Iterable[int]) -> int:
     return system.coverage(list(indices))
 
 
-def greedy_max_coverage(system: SetSystem, k: int) -> Tuple[List[int], int]:
+def greedy_max_coverage(
+    system: SetSystem, k: int, within_mask: Optional[int] = None
+) -> Tuple[List[int], int]:
     """Greedy ``(1 - 1/e)``-approximate maximum coverage.
 
     Returns the chosen indices (in pick order) and the number of covered
@@ -29,6 +31,13 @@ def greedy_max_coverage(system: SetSystem, k: int) -> Tuple[List[int], int]:
     :mod:`repro.setcover.greedy`): stale heap gains are upper bounds by
     submodularity, and the ``(-gain, index)`` heap key reproduces the eager
     tie-break (smallest index among the maximum-gain sets) exactly.
+
+    ``within_mask`` restricts the objective to an element subset: picks and
+    value are exactly those of running on ``system.restrict_to_elements
+    (within_mask)`` — every gain is ``|S_i ∩ within ∩ uncovered|`` — without
+    materialising the projected system.  This is how the streaming
+    max-coverage algorithms solve their sampled sub-instances on the
+    original system's already-built kernel.
     """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
@@ -37,7 +46,7 @@ def greedy_max_coverage(system: SetSystem, k: int) -> Tuple[List[int], int]:
     limit = min(k, system.num_sets)
     if limit == 0:
         return [], 0
-    universe = system.uncovered_mask([])
+    universe = system.uncovered_mask([]) if within_mask is None else within_mask
     picker = LazyGreedyPicker(system.kernel(), universe)
     for _ in range(limit):
         uncovered = universe & ~covered
@@ -48,7 +57,7 @@ def greedy_max_coverage(system: SetSystem, k: int) -> Tuple[List[int], int]:
         chosen_mask = system.mask(best_index)
         picker.cover(chosen_mask & uncovered)
         covered |= chosen_mask
-    return chosen, bitset_size(covered)
+    return chosen, bitset_size(covered & universe)
 
 
 def exact_max_coverage(

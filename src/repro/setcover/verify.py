@@ -7,10 +7,11 @@ trust an algorithm's own claim of correctness.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterable, Sequence, Set
 
 from repro.setcover.instance import SetSystem
-from repro.utils.bitset import bitset_to_set
+from repro.utils.bitset import bitset_size, bitset_to_set, iter_bits
 
 
 def uncovered_elements(system: SetSystem, indices: Iterable[int]) -> Set[int]:
@@ -27,7 +28,10 @@ def verify_cover(system: SetSystem, indices: Sequence[int]) -> None:
     """Raise ``ValueError`` (with the missing elements) unless feasible.
 
     Also rejects out-of-range or duplicate indices, which would silently
-    inflate/deflate solution sizes in the experiment tables.
+    inflate/deflate solution sizes in the experiment tables.  Works on the
+    missing-elements bitset directly (count by popcount, examples straight
+    off ``iter_bits``) — verification of a large feasible cover never
+    materialises a per-element set.
     """
     seen = set()
     for index in indices:
@@ -36,10 +40,10 @@ def verify_cover(system: SetSystem, indices: Sequence[int]) -> None:
         if index in seen:
             raise ValueError(f"duplicate set index {index} in solution")
         seen.add(index)
-    missing = uncovered_elements(system, indices)
-    if missing:
-        sample = sorted(missing)[:10]
+    missing_mask = system.uncovered_mask(list(indices))
+    if missing_mask:
+        sample = list(islice(iter_bits(missing_mask), 10))
         raise ValueError(
-            f"solution does not cover the universe; {len(missing)} elements missing "
-            f"(e.g. {sample})"
+            f"solution does not cover the universe; {bitset_size(missing_mask)} "
+            f"elements missing (e.g. {sample})"
         )

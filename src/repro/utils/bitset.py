@@ -22,6 +22,28 @@ def bitset_from_iterable(elements: Iterable[int]) -> int:
     return mask
 
 
+def bitset_from_indices(indices: Iterable[int]) -> int:
+    """Bulk bitset constructor from an iterable of non-negative indices.
+
+    Output-identical to :func:`bitset_from_iterable`, but sets bits in a
+    byte buffer and converts once — O(k + max/8) instead of k big-int
+    shift-and-or operations, which is what the batched instance generators
+    need when k is the whole set.
+    """
+    items = indices if isinstance(indices, (list, tuple)) else list(indices)
+    if not items:
+        return 0
+    highest = max(items)
+    if highest < 0:
+        raise ValueError(f"elements must be non-negative, got {highest}")
+    buffer = bytearray(highest // 8 + 1)
+    for element in items:
+        if element < 0:
+            raise ValueError(f"elements must be non-negative, got {element}")
+        buffer[element >> 3] |= 1 << (element & 7)
+    return int.from_bytes(bytes(buffer), "little")
+
+
 def bitset_to_set(mask: int) -> Set[int]:
     """Expand a bitset into a plain Python set of element indices."""
     return set(iter_bits(mask))

@@ -12,6 +12,8 @@ import hashlib
 import random
 from typing import Optional, Union
 
+from repro.utils.bitset import bitset_from_indices
+
 SeedLike = Union[None, int, random.Random, "RandomSource"]
 
 #: Number of bits in a derived seed (fits comfortably in a C long).
@@ -30,9 +32,10 @@ def _batch_floats_numpy(rng: random.Random, count: int):
     624-word state across, drawing the batch vectorized, and copying the
     advanced state back yields *bit-identical* floats and leaves ``rng``
     positioned exactly as ``count`` sequential ``random()`` calls would.
-    Returns None when NumPy is unavailable or the state layout is unexpected
-    (non-CPython implementations), in which case the caller falls back to the
-    sequential loop.
+    Returns the draws as a NumPy array, or None when NumPy is unavailable or
+    the state layout is unexpected (non-CPython implementations), in which
+    case the caller falls back to the sequential loop — the stream is only
+    advanced on success.
     """
     try:
         import numpy as np
@@ -51,7 +54,7 @@ def _batch_floats_numpy(rng: random.Random, count: int):
     rng.setstate(
         (version, tuple(int(word) for word in advanced[1]) + (int(advanced[2]),), state[2])
     )
-    return draws.tolist()
+    return draws
 
 
 def derive_seed(root: int, *path: Union[int, str]) -> int:
@@ -144,8 +147,25 @@ class RandomSource:
         if count >= _BATCH_NUMPY_MIN:
             draws = _batch_floats_numpy(self._rng, count)
             if draws is not None:
-                return draws
+                return draws.tolist()
         return [self._rng.random() for _ in range(count)]
+
+    def random_array(self, count: int):
+        """``count`` floats as a NumPy array, or None when not worthwhile.
+
+        The vectorized sibling of :meth:`random_batch` for callers that stay
+        in array land (packed instance generation): on success the returned
+        draws and the post-call stream position are bit-identical to
+        ``count`` sequential :meth:`random` calls.  Returns None — without
+        consuming anything — when NumPy is missing or the batch is too small
+        to amortise the MT19937 state transfer; callers then fall back to
+        :meth:`random_batch` or the plain loop.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count >= _BATCH_NUMPY_MIN:
+            return _batch_floats_numpy(self._rng, count)
+        return None
 
     def permutation(self, n: int) -> list:
         """Return a uniformly random permutation of range(n)."""
@@ -160,6 +180,21 @@ class RandomSource:
                 f"cannot sample {size} elements from a universe of {universe_size}"
             )
         return frozenset(self._rng.sample(range(universe_size), size))
+
+    def subset_mask(self, universe_size: int, size: int) -> int:
+        """A uniformly random ``size``-subset of ``range(universe_size)`` as a bitset.
+
+        Consumes exactly the same draws as :meth:`subset` (the identical
+        ``random.sample`` call) but assembles the result through the bulk
+        bitset constructor — no frozenset, no per-element re-hashing — which
+        is what the batched instance generators feed to
+        :meth:`SetSystem.from_masks`.
+        """
+        if size > universe_size:
+            raise ValueError(
+                f"cannot sample {size} elements from a universe of {universe_size}"
+            )
+        return bitset_from_indices(self._rng.sample(range(universe_size), size))
 
     # -- spawning -------------------------------------------------------
     def spawn(self) -> "RandomSource":

@@ -1,12 +1,85 @@
-"""Random set system generators with controllable structure."""
+"""Random set system generators with controllable structure.
+
+Instance construction is batched: Bernoulli-family generators draw their
+whole float budget through :meth:`~repro.utils.rng.RandomSource.random_batch`
+/ :meth:`~repro.utils.rng.RandomSource.random_array` (exact MT19937 state
+transfer — the draws and the post-call stream position are bit-identical to
+the historical per-element ``bernoulli`` loops) and assemble packed bitset
+masks in one array operation per set system instead of per-element list
+appends.  Fixed-size subsets go through
+:meth:`~repro.utils.rng.RandomSource.subset_mask` (same ``random.sample``
+stream, bulk bitset assembly).  Every generator feeds
+:meth:`SetSystem.from_masks`, so no intermediate element lists are
+materialised; coverability patches go through
+:meth:`SetSystem.with_patched_mask`.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.setcover.instance import SetCoverInstance, SetSystem
+from repro.utils.bitset import bitset_from_indices
 from repro.utils.rng import RandomSource, SeedLike, spawn_rng
+
+
+def _pack_bool_rows(bits) -> List[int]:
+    """Convert a boolean (num_sets, universe_size) NumPy matrix to int masks."""
+    import numpy as np
+
+    if bits.shape[1] == 0:
+        return [0] * bits.shape[0]
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    data = packed.tobytes()
+    stride = packed.shape[1]
+    return [
+        int.from_bytes(data[row * stride : (row + 1) * stride], "little")
+        for row in range(packed.shape[0])
+    ]
+
+
+#: Sets per draw chunk in :func:`bernoulli_masks`: bounds the transient float
+#: array at ``chunk × n`` doubles (the same convention as the NumPy kernel's
+#: row chunking) while staying large enough to amortise the MT19937 state
+#: transfer.
+_BERNOULLI_CHUNK_ROWS = 1024
+
+
+def bernoulli_masks(
+    rng: RandomSource, num_sets: int, universe_size: int, probability: float
+) -> List[int]:
+    """``num_sets`` i.i.d. Bernoulli(``probability``) subsets of ``[n]`` as masks.
+
+    Bit-identical to building each set with one ``rng.bernoulli`` call per
+    element (sets in order, elements ascending within a set): the draws come
+    from the same stream, batched — vectorized compare-and-pack in bounded
+    row chunks when NumPy is available, a plain loop otherwise.  Chunking
+    does not change the stream (draws are consumed sequentially either way).
+    """
+    masks: List[int] = []
+    for start in range(0, num_sets, _BERNOULLI_CHUNK_ROWS):
+        rows = min(_BERNOULLI_CHUNK_ROWS, num_sets - start)
+        count = rows * universe_size
+        draws = rng.random_array(count)
+        if draws is not None:
+            masks.extend(
+                _pack_bool_rows((draws < probability).reshape(rows, universe_size))
+            )
+            continue
+        batch = rng.random_batch(count)
+        for row in range(rows):
+            base = row * universe_size
+            masks.append(
+                bitset_from_indices(
+                    [
+                        element
+                        for element in range(universe_size)
+                        if batch[base + element] < probability
+                    ]
+                )
+            )
+    return masks
 
 
 def random_set_system(
@@ -31,16 +104,15 @@ def random_set_system(
             raise ValueError(
                 f"set_size must lie in [0, {universe_size}], got {set_size}"
             )
-        sets = [rng.subset(universe_size, set_size) for _ in range(num_sets)]
-        return SetSystem(universe_size, sets)
+        masks = [rng.subset_mask(universe_size, set_size) for _ in range(num_sets)]
+        return SetSystem.from_masks(universe_size, masks)
     if density is None:
         density = min(1.0, 4.0 * math.log(max(universe_size, 2)) / max(universe_size, 1))
     if not 0.0 <= density <= 1.0:
         raise ValueError(f"density must lie in [0, 1], got {density}")
-    sets = []
-    for _ in range(num_sets):
-        sets.append([e for e in range(universe_size) if rng.bernoulli(density)])
-    return SetSystem(universe_size, sets)
+    return SetSystem.from_masks(
+        universe_size, bernoulli_masks(rng, num_sets, universe_size, density)
+    )
 
 
 def random_instance(
@@ -57,12 +129,27 @@ def random_instance(
         )
         if system.is_coverable():
             return SetCoverInstance(system, metadata={"kind": "random"})
-    # Force coverability by adding missing elements to the last set.
+    # Force coverability by adding the missing elements to the last set.
     missing = system.uncovered_mask(range(system.num_sets))
-    masks = system.masks()
-    masks[-1] |= missing
-    system = SetSystem.from_masks(universe_size, masks)
+    system = system.with_patched_mask(system.num_sets - 1, missing)
     return SetCoverInstance(system, metadata={"kind": "random", "patched": True})
+
+
+def _bernoulli_mask_excluding(
+    rng: RandomSource, universe_size: int, excluded: Sequence[int], probability: float
+) -> int:
+    """Bernoulli subset of the universe outside ``excluded`` (a sorted range).
+
+    Draws exactly ``universe_size - len(excluded)`` floats in ascending
+    element order — the same consumption as the historical loop that skipped
+    excluded elements without drawing for them.
+    """
+    start, end = (excluded[0], excluded[-1] + 1) if excluded else (0, 0)
+    outside = list(range(0, start)) + list(range(end, universe_size))
+    draws = rng.random_batch(len(outside))
+    return bitset_from_indices(
+        [element for element, draw in zip(outside, draws) if draw < probability]
+    )
 
 
 def plant_cover_instance(
@@ -99,30 +186,26 @@ def plant_cover_instance(
         blocks.append(list(range(start, end)))
         start = end
 
-    planted_sets: List[List[int]] = []
+    planted_masks: List[int] = []
     for block in blocks:
-        block_members = set(block)
-        extra = [
-            element
-            for element in range(universe_size)
-            if element not in block_members and rng.bernoulli(overlap)
-        ]
-        planted_sets.append(sorted(block + extra))
+        block_mask = bitset_from_indices(block)
+        extra_mask = _bernoulli_mask_excluding(rng, universe_size, block, overlap)
+        planted_masks.append(block_mask | extra_mask)
 
     if decoy_set_size is None:
         # Decoys strictly smaller than a block so they cannot replace a
         # planted set and opt stays exactly cover_size.
         decoy_set_size = max(1, block_size // 2)
-    decoy_sets = [
-        sorted(rng.subset(universe_size, min(decoy_set_size, universe_size)))
+    decoy_masks = [
+        rng.subset_mask(universe_size, min(decoy_set_size, universe_size))
         for _ in range(num_sets - cover_size)
     ]
 
-    all_sets = planted_sets + decoy_sets
-    order = rng.permutation(len(all_sets))
-    shuffled = [all_sets[i] for i in order]
+    all_masks = planted_masks + decoy_masks
+    order = rng.permutation(len(all_masks))
+    shuffled = [all_masks[i] for i in order]
     planted_positions = sorted(order.index(i) for i in range(cover_size))
-    system = SetSystem(universe_size, shuffled)
+    system = SetSystem.from_masks(universe_size, shuffled)
     return SetCoverInstance(
         system,
         planted_opt=cover_size,
@@ -147,6 +230,10 @@ def zipfian_instance(
     introduction: a few popular elements appear in most sets while the tail is
     rare, which is the regime where streaming set cover is hard in practice
     (rare elements force many passes or large memory).
+
+    The rejection loop is inherently sequential (each draw decides whether
+    another is needed), so this generator keeps the per-draw path; only the
+    coverability patch is routed through the explicit constructor.
     """
     if skew <= 0:
         raise ValueError(f"skew must be positive, got {skew}")
@@ -170,21 +257,19 @@ def zipfian_instance(
                 high = mid
         return low
 
-    sets: List[List[int]] = []
+    masks: List[int] = []
     for _ in range(num_sets):
         chosen = set()
         attempts = 0
         while len(chosen) < set_size and attempts < 50 * set_size:
             chosen.add(draw_element())
             attempts += 1
-        sets.append(sorted(chosen))
-    system = SetSystem(universe_size, sets)
+        masks.append(bitset_from_indices(chosen))
+    system = SetSystem.from_masks(universe_size, masks)
     # Patch coverability (rare tail elements may be missed entirely).
     missing = system.uncovered_mask(range(system.num_sets))
     if missing:
-        masks = system.masks()
-        masks[rng.randrange(num_sets)] |= missing
-        system = SetSystem.from_masks(universe_size, masks)
+        system = system.with_patched_mask(rng.randrange(num_sets), missing)
     return SetCoverInstance(system, metadata={"kind": "zipf", "skew": skew})
 
 
@@ -203,7 +288,9 @@ def disjoint_blocks_instance(
     blocks: List[List[int]] = [[] for _ in range(num_blocks)]
     for position, element in enumerate(permutation):
         blocks[position % num_blocks].append(element)
-    system = SetSystem(universe_size, [sorted(block) for block in blocks])
+    system = SetSystem.from_masks(
+        universe_size, [bitset_from_indices(block) for block in blocks]
+    )
     return SetCoverInstance(
         system, planted_opt=num_blocks, metadata={"kind": "disjoint-blocks"}
     )

@@ -1,9 +1,21 @@
 """Property-based tests for the streaming substrate and preprocessing."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines.saha_getoor import SahaGetoorGreedy
+from repro.baselines import (
+    EmekRosenSemiStreaming,
+    IterativePruningSetCover,
+    McGregorVuMaxCoverage,
+    ProgressiveGreedyPasses,
+    SahaGetoorGreedy,
+    StoreEverythingMaxCover,
+    StoreEverythingSetCover,
+)
+from repro.core.maxcover_stream import StreamingMaxCoverage
+from repro.core.value_estimation import CountingBoundEstimator
+from repro.kernels import HAS_NUMPY
 from repro.setcover.exact import exact_cover_value, exact_set_cover
 from repro.setcover.instance import SetSystem
 from repro.setcover.preprocess import preprocess
@@ -115,6 +127,62 @@ class TestPreprocessProperties:
         result = preprocess(system)
         assert all(0 <= i < system.num_sets for i in result.forced_picks)
         assert all(0 <= i < system.num_sets for i in result.kept_indices)
+
+
+#: Constructors for every streaming algorithm in the batched pipeline; each
+#: call builds a fresh instance (the rng-carrying ones get fixed seeds so the
+#: python/numpy runs consume identical streams).
+_PARITY_ALGORITHMS = [
+    ("emek-rosen", lambda: EmekRosenSemiStreaming()),
+    ("saha-getoor", lambda: SahaGetoorGreedy()),
+    ("saha-getoor-frac", lambda: SahaGetoorGreedy(threshold_fraction=0.25)),
+    ("demaine", lambda: ProgressiveGreedyPasses(num_passes=3)),
+    ("har-peled", lambda: IterativePruningSetCover(alpha=2, opt_guess=3, seed=101)),
+    ("mcgregor-vu", lambda: McGregorVuMaxCoverage(k=2, sketch_size=3, seed=202)),
+    ("store-setcover", lambda: StoreEverythingSetCover(solver="greedy")),
+    ("store-maxcover", lambda: StoreEverythingMaxCover(k=2, solver="greedy")),
+    (
+        "streaming-maxcover",
+        lambda: StreamingMaxCoverage(k=2, epsilon=0.5, solver="greedy", seed=303),
+    ),
+    ("counting-bound", lambda: CountingBoundEstimator()),
+]
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="NumPy backend not installed")
+class TestKernelBackendParity:
+    """Whole streaming runs must be byte-identical across kernel backends.
+
+    The equivalent of ``REPRO_KERNEL=python`` vs ``REPRO_KERNEL=numpy``
+    parity, pinned per-system via ``backend=`` so both run in one process:
+    every baseline plus the streaming max-coverage subroutine must produce
+    the same :class:`StreamingResult` — solution, estimate, pass count,
+    full space report, metadata — on both backends, under adversarial and
+    random arrival orders alike.
+    """
+
+    @given(coverable_systems(), st.sampled_from([None, 7, 12345]))
+    @settings(max_examples=25, deadline=None)
+    def test_streaming_results_identical_across_backends(self, system, order_seed):
+        order = StreamOrder.ADVERSARIAL if order_seed is None else StreamOrder.RANDOM
+        masks = system.masks()
+        n = system.universe_size
+        for label, build in _PARITY_ALGORITHMS:
+            results = {}
+            for backend in ("python", "numpy"):
+                pinned = SetSystem.from_masks(n, masks, backend=backend)
+                assert pinned.backend == backend
+                results[backend] = run_streaming_algorithm(
+                    build(),
+                    pinned,
+                    order=order,
+                    seed=order_seed,
+                    verify_solution=False,
+                )
+            python_result, numpy_result = results["python"], results["numpy"]
+            assert python_result == numpy_result, (
+                f"{label} diverged across kernel backends"
+            )
 
 
 class TestSerializationProperties:

@@ -136,6 +136,43 @@ class TestKernelPrimitives:
         assert empty.element_frequencies() == []
         assert empty.union() == 0
 
+    @pytest.mark.parametrize("kernel", both_kernels(), ids=lambda k: k.backend)
+    def test_element_lists_ascending(self, kernel):
+        expected = [
+            [element for element in range(N) if mask >> element & 1] for mask in MASKS
+        ]
+        lists = kernel.element_lists()
+        assert lists == expected
+        assert all(isinstance(e, int) for row in lists for e in row)
+
+    @pytest.mark.parametrize("kernel", both_kernels(), ids=lambda k: k.backend)
+    def test_element_lists_restricted_to_indices(self, kernel):
+        full = kernel.element_lists()
+        picked = [len(MASKS) - 1, 0]
+        assert kernel.element_lists(picked) == [full[i] for i in picked]
+        assert kernel.element_lists([]) == []
+
+    @pytest.mark.parametrize("kernel", both_kernels(), ids=lambda k: k.backend)
+    def test_claim_resolution_prefers_largest_key(self, kernel):
+        keys = list(range(1, len(MASKS) + 1))
+        winners = kernel.claim_resolution(keys)
+        for element in range(N):
+            containing = [i for i in range(len(MASKS)) if MASKS[i] >> element & 1]
+            expected = max(containing, key=lambda i: keys[i], default=-1)
+            assert winners[element] == expected
+
+    @pytest.mark.parametrize("kernel", both_kernels(), ids=lambda k: k.backend)
+    def test_claim_resolution_zero_keys_never_claim(self, kernel):
+        winners = kernel.claim_resolution([0] * len(MASKS))
+        assert winners == [-1] * N
+
+    @pytest.mark.parametrize("kernel", both_kernels(), ids=lambda k: k.backend)
+    def test_claim_resolution_ties_to_smallest_index(self, kernel):
+        winners = kernel.claim_resolution([5] * len(MASKS))
+        for element in range(N):
+            containing = [i for i in range(len(MASKS)) if MASKS[i] >> element & 1]
+            assert winners[element] == (containing[0] if containing else -1)
+
     @requires_numpy
     def test_wide_universe_packing_round_trip(self):
         """Masks spanning several uint64 words survive pack/unpack exactly."""

@@ -1,0 +1,137 @@
+"""Packed serialization and shared-memory transport of set systems."""
+
+import pickle
+
+import pytest
+
+from repro.kernels import HAS_NUMPY
+from repro.runtime.executor import parallel_map
+from repro.runtime.tasks import RuntimeTask
+from repro.runtime.transport import publish_system, shared_system
+from repro.setcover.greedy import greedy_set_cover
+from repro.setcover.instance import PackedSetSystem, SetSystem, packed_row_bytes
+from repro.workloads.random_instances import plant_cover_instance, random_instance
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="NumPy backend not installed")
+
+
+def _sample_system(universe_size=48, num_sets=20, seed=3) -> SetSystem:
+    return random_instance(universe_size, num_sets, density=0.15, seed=seed).system
+
+
+# Module-level so the process pool can pickle them.
+def _solve_system(system: SetSystem):
+    return system.universe_size, system.masks(), greedy_set_cover(system)
+
+
+def _solve_handle(handle):
+    return _solve_system(handle.load())
+
+
+class TestPackedForm:
+    def test_round_trip_masks_and_names(self):
+        system = _sample_system()
+        packed = system.to_packed()
+        assert packed.num_sets == system.num_sets
+        assert len(packed.buffer) == system.num_sets * packed_row_bytes(
+            system.universe_size
+        )
+        rebuilt = SetSystem.from_packed(packed)
+        assert rebuilt == system
+        assert rebuilt.names == system.names
+
+    def test_custom_names_survive(self):
+        system = SetSystem(4, [[0, 1], [2, 3]], names=["left", "right"])
+        rebuilt = SetSystem.from_packed(system.to_packed())
+        assert rebuilt.names == ["left", "right"]
+
+    def test_default_names_ship_no_strings(self):
+        assert _sample_system().to_packed().names is None
+
+    def test_buffer_length_is_validated(self):
+        with pytest.raises(ValueError, match="packed buffer"):
+            PackedSetSystem(universe_size=8, num_sets=2, buffer=b"\x00")
+
+    def test_empty_system(self):
+        system = SetSystem(5, [])
+        rebuilt = SetSystem.from_packed(system.to_packed())
+        assert rebuilt == system
+        assert rebuilt.num_sets == 0
+
+    def test_pickle_ships_packed_buffer(self):
+        system = _sample_system()
+        state = system.__getstate__()
+        assert isinstance(state["buffer"], bytes)
+        assert "_masks" not in state
+        rebuilt = pickle.loads(pickle.dumps(system))
+        assert rebuilt == system
+        assert rebuilt.requested_backend == system.requested_backend
+        assert greedy_set_cover(rebuilt) == greedy_set_cover(system)
+
+    @needs_numpy
+    def test_numpy_kernel_adopts_transported_buffer(self):
+        system = SetSystem.from_masks(70, _sample_system(70, 16).masks(), backend="numpy")
+        rebuilt = pickle.loads(pickle.dumps(system))
+        kernel = rebuilt.kernel()
+        assert kernel.backend == "numpy"
+        assert kernel.set_sizes() == system.kernel().set_sizes()
+        full = (1 << 70) - 1
+        assert kernel.gains(full) == system.kernel().gains(full)
+
+    @needs_numpy
+    def test_packed_export_reuses_numpy_matrix(self):
+        system = SetSystem.from_masks(40, [0b1011, 0b0100], backend="numpy")
+        system.kernel()  # force the matrix to exist
+        assert SetSystem.from_packed(system.to_packed()) == system
+
+
+class TestTaskFingerprints:
+    def test_system_params_fingerprint_by_digest(self):
+        system = _sample_system()
+        task = RuntimeTask(key="k", runner="r", params=(("system", system),))
+        payload = task.fingerprint_payload()
+        entry = payload["params"][0][1]
+        assert set(entry) == {"__set_system__", "universe_size", "num_sets"}
+        # Same content, fresh object -> same fingerprint; different content
+        # -> different fingerprint.
+        clone = SetSystem.from_masks(system.universe_size, system.masks())
+        same = RuntimeTask(key="k", runner="r", params=(("system", clone),))
+        assert same.fingerprint_payload() == payload
+        mask0 = system.mask(0)
+        free_bit = next(
+            e for e in range(system.universe_size) if not (mask0 >> e) & 1
+        )
+        patched = system.with_patched_mask(0, 1 << free_bit)
+        other = RuntimeTask(key="k", runner="r", params=(("system", patched),))
+        assert other.fingerprint_payload() != payload
+
+
+class TestParallelRoundTrip:
+    def test_parallel_map_matches_serial_through_packed_pickle(self):
+        systems = [_sample_system(seed=seed) for seed in range(6)]
+        serial = [_solve_system(system) for system in systems]
+        parallel = parallel_map(_solve_system, systems, workers=2)
+        assert parallel == serial
+
+    def test_shared_memory_fanout_matches_serial(self):
+        system = plant_cover_instance(60, 24, 4, seed=11).system
+        expected = _solve_system(system)
+        with shared_system(system) as handle:
+            results = parallel_map(_solve_handle, [handle] * 4, workers=2)
+        assert results == [expected] * 4
+
+    def test_shared_handle_loads_in_process(self):
+        system = _sample_system()
+        publication = publish_system(system)
+        try:
+            loaded = publication.handle.load()
+            assert loaded == system
+            assert loaded.names == system.names
+        finally:
+            publication.close()
+        publication.close()  # idempotent
+
+    def test_handle_reports_buffer_size(self):
+        system = _sample_system()
+        with shared_system(system) as handle:
+            assert handle.buffer_bytes == len(system.to_packed().buffer)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.utils.bitset import (
     bitset_difference,
+    bitset_from_indices,
     bitset_from_iterable,
     bitset_intersection,
     bitset_size,
@@ -12,6 +13,25 @@ from repro.utils.bitset import (
     iter_bits,
     universe_mask,
 )
+
+
+class TestBitsetFromIndices:
+    def test_matches_iterable_constructor(self):
+        for elements in ([], [0], [3, 1, 4], [63, 64, 65], list(range(0, 200, 7))):
+            assert bitset_from_indices(elements) == bitset_from_iterable(elements)
+
+    def test_accepts_generators_and_sets(self):
+        assert bitset_from_indices(e for e in (5, 2)) == 0b100100
+        assert bitset_from_indices({5, 2}) == 0b100100
+
+    def test_duplicates_collapse(self):
+        assert bitset_from_indices([1, 1, 1]) == 0b10
+
+    def test_negative_element_rejected(self):
+        with pytest.raises(ValueError):
+            bitset_from_indices([3, -1])
+        with pytest.raises(ValueError):
+            bitset_from_indices([-2])
 
 
 class TestBitsetFromIterable:

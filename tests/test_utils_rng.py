@@ -79,6 +79,49 @@ class TestHelpers:
         values = [rng.uniform(2.0, 3.0) for _ in range(100)]
         assert all(2.0 <= v <= 3.0 for v in values)
 
+    def test_subset_mask_matches_subset(self):
+        a, b = RandomSource(21), RandomSource(21)
+        for _ in range(10):
+            assert b.subset_mask(40, 6) == sum(1 << e for e in a.subset(40, 6))
+        # Both sources are left at the same stream position.
+        assert a.random() == b.random()
+
+    def test_subset_mask_too_large_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RandomSource(5).subset_mask(3, 5)
+
+    def test_random_array_matches_sequential_draws(self):
+        import pytest
+
+        pytest.importorskip("numpy")
+        source = RandomSource(33)
+        reference = [source.random() for _ in range(400)]
+        rng = RandomSource(33)
+        draws = rng.random_array(400)
+        assert draws is not None
+        assert draws.tolist() == reference
+        # The stream advanced exactly 400 draws.
+        probe = RandomSource(33)
+        for _ in range(400):
+            probe.random()
+        assert rng.random() == probe.random()
+
+    def test_random_array_declines_small_batches(self):
+        rng = RandomSource(2)
+        before = rng.randbits(64)
+        rng = RandomSource(2)
+        assert rng.random_array(10) is None
+        # Nothing was consumed by the declined call.
+        assert rng.randbits(64) == before
+
+    def test_random_array_rejects_negative(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RandomSource(1).random_array(-1)
+
 
 class TestSpawnRng:
     def test_spawn_rng_passthrough(self):

@@ -53,6 +53,42 @@ class TestRandomInstance:
             instance = random_instance(40, 15, seed=seed)
             assert instance.system.is_coverable()
 
+    def test_patched_fallback_is_coverable_and_flagged(self):
+        # Density 0 never draws a covering system, so all 32 attempts fail
+        # and the coverability patch must kick in on the last draw.
+        instance = random_instance(12, 4, density=0.0, seed=1)
+        assert instance.metadata["patched"] is True
+        assert instance.system.is_coverable()
+        # Only the last set was patched (with exactly the missing elements).
+        assert instance.system.mask(3) == (1 << 12) - 1
+        assert all(instance.system.mask(i) == 0 for i in range(3))
+
+    def test_unpatched_instances_carry_no_flag(self):
+        instance = random_instance(40, 15, density=0.3, seed=2)
+        assert "patched" not in instance.metadata
+
+
+class TestWithPatchedMask:
+    def test_returns_new_system_without_mutating_original(self):
+        from repro.setcover.instance import SetSystem
+
+        system = SetSystem(6, [[0, 1], [2]], names=["a", "b"])
+        masks_before = system.masks()
+        patched = system.with_patched_mask(1, 0b111000)
+        assert system.masks() == masks_before
+        assert patched.mask(1) == 0b111100
+        assert patched.mask(0) == system.mask(0)
+        assert patched.names == ["a", "b"]
+
+    def test_rejects_bad_index_and_foreign_elements(self):
+        from repro.setcover.instance import SetSystem
+
+        system = SetSystem(4, [[0]])
+        with pytest.raises(ValueError):
+            system.with_patched_mask(5, 1)
+        with pytest.raises(ValueError):
+            system.with_patched_mask(0, 1 << 10)
+
 
 class TestPlantedCover:
     def test_planted_opt_is_exact(self):
