@@ -6,7 +6,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run E2 E5 --seed 7
     python -m repro.cli run all --json results.json --markdown report.md
     python -m repro.cli run E1 E5 --workers 4 --store /tmp/rstore
-    python -m repro.cli scenarios
+    python -m repro.cli run adversarial --workers 4 --store /tmp/rstore
+    python -m repro.cli scenarios --tag adversarial
 
 The CLI is a thin wrapper over :mod:`repro.experiments` and
 :mod:`repro.runtime`: it resolves experiment/scenario ids, runs them — in
@@ -111,7 +112,10 @@ def resolve_experiment_ids(
     """Expand 'all' and validate experiment ids (case-insensitive).
 
     With ``allow_scenarios=True`` (the runtime execution path), names that
-    are not experiment ids may also match any registered runtime scenario.
+    are not experiment ids may also match any registered runtime scenario,
+    and a name matching a scenario *tag* (e.g. ``adversarial``) expands to
+    every scenario carrying that tag — which is how a whole workload grid
+    runs through the sharded executor with one CLI argument.
     """
     if any(entry.lower() == "all" for entry in requested):
         return sorted(EXPERIMENT_REGISTRY, key=lambda eid: int(eid[1:]))
@@ -122,10 +126,14 @@ def resolve_experiment_ids(
             resolved.append(canonical)
             continue
         if allow_scenarios:
-            from repro.runtime import SCENARIO_REGISTRY
+            from repro.runtime import SCENARIO_REGISTRY, iter_scenarios
 
             if entry in SCENARIO_REGISTRY:
                 resolved.append(entry)
+                continue
+            tagged = [spec.name for spec in iter_scenarios(tag=entry)]
+            if tagged:
+                resolved.extend(tagged)
                 continue
         raise SystemExit(
             f"unknown experiment {entry!r}; run 'repro list' to see the options"
@@ -238,9 +246,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _scenarios_command(args.name, args.tag)
 
     use_runtime = args.workers > 1 or args.store is not None
-    experiment_ids = resolve_experiment_ids(
-        args.experiments, allow_scenarios=use_runtime
-    )
+    experiment_ids = resolve_experiment_ids(args.experiments, allow_scenarios=True)
+    if any(eid not in EXPERIMENT_REGISTRY for eid in experiment_ids):
+        # Scenario/grid names only exist in the runtime registry; route the
+        # whole run through the executor so they resolve and shard uniformly.
+        use_runtime = True
     if use_runtime:
         results = run_experiments_runtime(
             experiment_ids,

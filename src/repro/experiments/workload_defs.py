@@ -1,0 +1,268 @@
+"""Workload sweeps: the paper's hard distributions as schedulable runs.
+
+``run_workload_sweep`` is a generic experiment runner that builds one
+workload instance — the adversarial lower-bound distributions D_SC / D_MC
+(experiments E5–E8's hard instances) or the structured random / coverage
+generators — streams it to a named set cover algorithm under a chosen
+arrival order, and reports the solution quality together with the
+:class:`~repro.streaming.space.SpaceReport` peaks.  Registered in the
+runner registry under ``"WL"``, it is the runner behind the ``ADV``
+scenario grids in :mod:`repro.runtime.scenarios`: every combination of
+``{dsc, dmc, random, coverage} × {adversarial, random} × algorithm`` is one
+reproducible, store/resume-cacheable task for the sharded executor.
+
+Hard instances may be uncoverable at finite scale (a θ=0 D_SC sample can
+leave elements uncovered by every set), so the engine-side verification is
+replaced by an explicit feasibility column; ``space_budget`` arms the
+engine's :class:`~repro.streaming.space.SpaceMeter` and a budget overrun is
+reported as a row outcome instead of aborting the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.baselines import (
+    EmekRosenSemiStreaming,
+    IterativePruningSetCover,
+    ProgressiveGreedyPasses,
+    SahaGetoorGreedy,
+    StoreEverythingSetCover,
+)
+from repro.core.algorithm1 import AlgorithmOneConfig, StreamingSetCover
+from repro.exceptions import InfeasibleInstanceError, SpaceBudgetExceededError
+from repro.experiments.harness import ExperimentResult
+from repro.setcover.greedy import greedy_set_cover
+from repro.setcover.instance import SetCoverInstance
+from repro.setcover.verify import is_feasible_cover
+from repro.streaming.engine import run_streaming_algorithm
+from repro.streaming.stream import StreamOrder
+from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.tables import Table
+from repro.workloads.adversarial import dmc_stream_instance, dsc_stream_instance
+from repro.workloads.coverage import topic_coverage_instance
+from repro.workloads.random_instances import random_instance
+
+#: The workload axis: adversarial lower-bound distributions plus the
+#: structured generators, by registry key.
+WORKLOAD_KINDS = ("dsc", "dmc", "random", "coverage")
+
+#: The algorithm axis: Algorithm 1 plus the five set cover baselines of E11.
+ALGORITHM_KINDS = (
+    "algorithm1",
+    "har_peled",
+    "demaine",
+    "saha_getoor",
+    "emek_rosen",
+    "store_everything",
+)
+
+
+def _build_instance(
+    workload: str,
+    rng: RandomSource,
+    universe_size: int,
+    num_sets: int,
+    num_pairs: int,
+    alpha: int,
+    epsilon: float,
+    cover_size: int,
+    theta: Optional[int],
+) -> SetCoverInstance:
+    if workload == "dsc":
+        return dsc_stream_instance(
+            universe_size, num_pairs, alpha, theta=theta, seed=rng.spawn()
+        )
+    if workload == "dmc":
+        return dmc_stream_instance(num_pairs, epsilon, theta=theta, seed=rng.spawn())
+    if workload == "random":
+        return random_instance(universe_size, num_sets, seed=rng.spawn())
+    if workload == "coverage":
+        return topic_coverage_instance(
+            universe_size, num_sets, communities=max(2, cover_size), seed=rng.spawn()
+        )
+    raise ValueError(
+        f"unknown workload {workload!r}; expected one of {WORKLOAD_KINDS}"
+    )
+
+
+def _offline_opt_guess(instance: SetCoverInstance) -> int:
+    """Opt guess for the guess-driven algorithms: planted opt or greedy bound.
+
+    Restricting greedy to the coverable part keeps the guess defined on hard
+    instances whose union misses part of the universe.
+    """
+    if instance.planted_opt:
+        return instance.planted_opt
+    system = instance.system
+    coverable = system.coverage_mask(range(system.num_sets))
+    if not coverable:
+        return 1
+    try:
+        return max(1, len(greedy_set_cover(system, required_mask=coverable)))
+    except InfeasibleInstanceError:  # pragma: no cover - coverable mask given
+        return 1
+
+
+def _build_algorithm(algorithm: str, alpha: int, opt_guess: int, rng: RandomSource):
+    if algorithm == "algorithm1":
+        return StreamingSetCover(
+            AlgorithmOneConfig(
+                alpha=alpha,
+                opt_guess=opt_guess,
+                epsilon=0.5,
+                subinstance_solver="greedy",
+            ),
+            seed=rng.spawn(),
+        )
+    if algorithm == "har_peled":
+        return IterativePruningSetCover(
+            alpha=alpha, opt_guess=opt_guess, subinstance_solver="greedy", seed=rng.spawn()
+        )
+    if algorithm == "demaine":
+        return ProgressiveGreedyPasses(num_passes=2 * alpha)
+    if algorithm == "saha_getoor":
+        return SahaGetoorGreedy()
+    if algorithm == "emek_rosen":
+        return EmekRosenSemiStreaming()
+    if algorithm == "store_everything":
+        return StoreEverythingSetCover(solver="greedy")
+    raise ValueError(
+        f"unknown algorithm {algorithm!r}; expected one of {ALGORITHM_KINDS}"
+    )
+
+
+def run_workload_sweep(
+    workload: str = "dsc",
+    algorithm: str = "algorithm1",
+    order: str = "adversarial",
+    universe_size: int = 96,
+    num_sets: int = 24,
+    num_pairs: int = 6,
+    alpha: int = 2,
+    epsilon: float = 0.35,
+    cover_size: int = 3,
+    theta: Optional[int] = None,
+    space_budget: Optional[int] = None,
+    seed: int = 20170,
+) -> ExperimentResult:
+    """Run one workload × algorithm × arrival-order combination.
+
+    Deterministic given ``seed``: the instance, the algorithm's internal
+    randomness, and the stream-order shuffle draw from derived child
+    streams.  The result table carries the space peaks (total and dominant
+    category) so hard-instance sweeps through the runtime executor report
+    exactly what Theorem 2's space accounting measures.
+    """
+    stream_order = StreamOrder(order)
+    rng = spawn_rng(seed)
+    instance = _build_instance(
+        workload,
+        rng,
+        universe_size,
+        num_sets,
+        num_pairs,
+        alpha,
+        epsilon,
+        cover_size,
+        theta,
+    )
+    system = instance.system
+    opt_guess = _offline_opt_guess(instance)
+    runner = _build_algorithm(algorithm, alpha, opt_guess, rng)
+    stream_seed = rng.spawn()
+
+    budget_exceeded = False
+    infeasible = False
+    try:
+        result = run_streaming_algorithm(
+            runner,
+            system,
+            order=stream_order,
+            seed=stream_seed,
+            space_budget=space_budget,
+            verify_solution=False,
+        )
+        solution_size: Optional[int] = result.solution_size
+        feasible = is_feasible_cover(system, result.solution)
+        passes = result.passes
+        space = result.space
+    except SpaceBudgetExceededError:
+        budget_exceeded = True
+        solution_size = None
+        feasible = False
+        passes = None
+        space = runner.space.report()
+    except InfeasibleInstanceError:
+        # A θ=0 hard instance can be uncoverable outright; algorithms with
+        # offline sub-solves surface that as an exception.  It is a workload
+        # outcome, not a sweep failure.
+        infeasible = True
+        solution_size = None
+        feasible = False
+        passes = None
+        space = runner.space.report()
+
+    table = Table(
+        [
+            "workload",
+            "algorithm",
+            "order",
+            "n",
+            "m",
+            "solution_size",
+            "feasible",
+            "passes",
+            "peak_space_words",
+            "dominant_category",
+            "budget_exceeded",
+            "instance_uncoverable",
+        ],
+        title="WL: workload x algorithm x arrival order",
+    )
+    table.add_row(
+        workload,
+        algorithm,
+        stream_order.value,
+        system.universe_size,
+        system.num_sets,
+        solution_size if solution_size is not None else "-",
+        feasible,
+        passes if passes is not None else "-",
+        space.peak_words,
+        space.dominant_category() or "-",
+        budget_exceeded,
+        infeasible,
+    )
+    findings: Dict[str, Any] = {
+        "workload": workload,
+        "algorithm": algorithm,
+        "order": stream_order.value,
+        "opt_guess": opt_guess,
+        "solution_size": solution_size,
+        "feasible": feasible,
+        "passes": passes,
+        "peak_space_words": space.peak_words,
+        "stored_incidences_peak": space.peak_by_category.get("stored_incidences", 0),
+        "space_budget": space_budget,
+        "budget_exceeded": budget_exceeded,
+        "instance_uncoverable": infeasible,
+    }
+    if instance.planted_opt is not None:
+        findings["planted_opt"] = instance.planted_opt
+    if "theta" in instance.metadata:
+        findings["theta"] = instance.metadata["theta"]
+    return ExperimentResult(
+        experiment_id="WL",
+        title=f"{workload} workload, {algorithm}, {stream_order.value} arrival",
+        table=table,
+        findings=findings,
+    )
+
+
+#: Runners this module contributes to the runner registry.
+WORKLOAD_RUNNERS = {"WL": run_workload_sweep}
+
+WORKLOAD_DESCRIPTIONS = {
+    "WL": "Workload sweep: {dsc,dmc,random,coverage} x arrival order x algorithm",
+}

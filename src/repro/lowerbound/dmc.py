@@ -15,6 +15,14 @@ Lemma 4.3: the optimal 2-coverage is ``(1 ± Θ(ε))·τ`` depending on θ, so a
 (1−ε)-approximation must determine θ; Claim 4.4: a near-optimal 2-cover must
 take a matched pair (S_i, T_i) because mixed pairs cover ≤ (3/4 + 0.2)·t2 of
 U2 while matched pairs cover all of it.
+
+Draw protocol: per pair, the GHD gadget's rejection attempts (2·t1 floats
+each, see :mod:`repro.problems.ghd`) followed by ``t2`` split uniforms
+(``u < 1/2`` sends the U2 element to Alice's half ``C_i``); then the θ flip
+and, when θ = 1, the special index and a D_GHD^Y gadget resample (the U2
+split is reused).  The split draws batch through
+:meth:`~repro.utils.rng.RandomSource.random_array` with packed mask
+assembly; the loop path applies identical transforms to identical floats.
 """
 
 from __future__ import annotations
@@ -26,8 +34,8 @@ from repro.communication.protocols.setcover_protocol import SetCoverInput
 from repro.exceptions import DistributionError
 from repro.problems.ghd import GHDInstance, default_set_sizes, sample_dghd_no, sample_dghd_yes
 from repro.setcover.instance import SetSystem
-from repro.utils.bitset import bitset_from_iterable
-from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.bitset import bitset_from_indices, mask_from_bools
+from repro.utils.rng import SeedLike, batching_numpy, spawn_rng
 
 
 @dataclass(frozen=True)
@@ -124,6 +132,24 @@ class DMCInstance:
         return self.set_system().coverage([index, self.num_pairs + index])
 
 
+def _u2_split_masks(rng, t1: int, t2: int) -> Tuple[int, int]:
+    """Draw one pair's U2 split: t2 uniforms → (C_i, D_i) masks over [t1, t1+t2).
+
+    Batched through :meth:`~repro.utils.rng.RandomSource.random_array` with a
+    single packed-bit assembly per half; the loop path consumes the identical
+    floats in the identical ascending element order.
+    """
+    numpy = batching_numpy()
+    draws = rng.random_array(t2) if numpy is not None else None
+    if draws is not None:
+        in_c = draws < 0.5
+        return mask_from_bools(in_c) << t1, mask_from_bools(~in_c) << t1
+    batch = rng.random_batch(t2)
+    c_elements = [t1 + offset for offset, draw in enumerate(batch) if draw < 0.5]
+    d_elements = [t1 + offset for offset, draw in enumerate(batch) if draw >= 0.5]
+    return bitset_from_indices(c_elements), bitset_from_indices(d_elements)
+
+
 def sample_dmc(
     parameters: DMCParameters,
     seed: SeedLike = None,
@@ -139,23 +165,16 @@ def sample_dmc(
     ghd_instances: List[GHDInstance] = []
     alice_sets: List[int] = []
     bob_sets: List[int] = []
-    u2_elements = list(range(t1, t1 + t2))
-    c_parts: List[List[int]] = []
-    d_parts: List[List[int]] = []
+    c_masks: List[int] = []
+    d_masks: List[int] = []
     for _ in range(m):
-        pair = sample_dghd_no(t1, a, b, seed=rng.spawn())
+        pair = sample_dghd_no(t1, a, b, seed=rng)
         ghd_instances.append(pair)
-        c_part: List[int] = []
-        d_part: List[int] = []
-        for element in u2_elements:
-            if rng.bernoulli(0.5):
-                c_part.append(element)
-            else:
-                d_part.append(element)
-        c_parts.append(c_part)
-        d_parts.append(d_part)
-        alice_sets.append(bitset_from_iterable(list(pair.alice) + c_part))
-        bob_sets.append(bitset_from_iterable(list(pair.bob) + d_part))
+        c_mask, d_mask = _u2_split_masks(rng, t1, t2)
+        c_masks.append(c_mask)
+        d_masks.append(d_mask)
+        alice_sets.append(bitset_from_indices(sorted(pair.alice)) | c_mask)
+        bob_sets.append(bitset_from_indices(sorted(pair.bob)) | d_mask)
 
     if theta is None:
         theta = rng.randint(0, 1)
@@ -164,13 +183,13 @@ def sample_dmc(
     special_index: Optional[int] = None
     if theta == 1:
         special_index = rng.randrange(m)
-        pair = sample_dghd_yes(t1, a, b, seed=rng.spawn())
+        pair = sample_dghd_yes(t1, a, b, seed=rng)
         ghd_instances[special_index] = pair
-        alice_sets[special_index] = bitset_from_iterable(
-            list(pair.alice) + c_parts[special_index]
+        alice_sets[special_index] = (
+            bitset_from_indices(sorted(pair.alice)) | c_masks[special_index]
         )
-        bob_sets[special_index] = bitset_from_iterable(
-            list(pair.bob) + d_parts[special_index]
+        bob_sets[special_index] = (
+            bitset_from_indices(sorted(pair.bob)) | d_masks[special_index]
         )
 
     return DMCInstance(

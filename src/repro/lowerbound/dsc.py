@@ -17,25 +17,49 @@ For parameters (n, m, α) and ``t ≈ (n / log m)^{1/α}``:
 the 2m sets to Alice or Bob independently with probability 1/2 — the
 random-partition form used to extend the lower bound to random arrival
 streams.
+
+Draw protocol: each pair consumes a fixed float budget from the sampler's
+stream — ``t`` gadget rolls, one planted uniform, then ``n`` mapping uniforms
+(argsort permutation; see :mod:`repro.lowerbound.mapping_extension`) — in
+pair order, followed by the θ flip and, when θ = 1, the special index and
+``t`` resample rolls.  The fixed layout lets the sampler draw whole pair
+blocks through one :meth:`~repro.utils.rng.RandomSource.random_array` call
+(exact MT19937 state transfer) and assemble all 2m masks via packed-bit
+matrix operations, while the sequential loop path applies the identical
+transforms to the identical floats — batched and loop sampling are
+bit-identical.  Mapping-extension provenance is materialised lazily: the
+sampler keeps the permutations and builds :class:`MappingExtension` objects
+only when ``instance.mappings`` is actually inspected.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.communication.protocols.setcover_protocol import SetCoverInput
 from repro.exceptions import DistributionError
-from repro.lowerbound.mapping_extension import MappingExtension, random_mapping_extension
+from repro.lowerbound.mapping_extension import (
+    MappingExtension,
+    block_sizes,
+    blocks_from_block_ids,
+    mapping_permutation,
+)
 from repro.problems.disjointness import (
     DisjointnessInstance,
+    gadget_membership_matrix,
     sample_ddisj_no,
     sample_ddisj_yes,
 )
 from repro.setcover.instance import SetSystem
-from repro.utils.bitset import universe_mask
-from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.bitset import bitset_from_indices, masks_from_bool_rows, universe_mask
+from repro.utils.rng import SeedLike, batching_numpy, spawn_rng
+
+#: Bound on the transient float matrix drawn per batched chunk (doubles), the
+#: same convention as the generators' row chunking; chunk boundaries never
+#: change the stream (draws are consumed sequentially either way).
+_PAIR_CHUNK_FLOATS = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -84,7 +108,7 @@ class DSCInstance:
     theta: int
     special_index: Optional[int]
     disjointness: List[DisjointnessInstance]
-    mappings: List[MappingExtension]
+    mappings: Sequence[MappingExtension]
     alice_sets: List[int] = field(default_factory=list)
     bob_sets: List[int] = field(default_factory=list)
 
@@ -129,29 +153,218 @@ class DSCInstance:
         return 2 if self.theta == 1 else None
 
 
+class LazyMappings(Sequence):
+    """Mapping-extension provenance materialised on demand.
+
+    The batched sampler keeps only each pair's universe permutation; the
+    corresponding :class:`MappingExtension` (frozenset blocks plus the
+    constructor's disjointness validation) is built — and cached — the first
+    time an index is inspected.  Compares equal to any sequence of the same
+    materialised mappings, so instances from the batched and loop paths
+    compare equal field for field.
+    """
+
+    def __init__(self, universe_size: int, t: int, block_id_rows: Sequence) -> None:
+        self._universe_size = universe_size
+        self._t = t
+        self._block_id_rows = block_id_rows
+        self._cache: Dict[int, MappingExtension] = {}
+
+    def __len__(self) -> int:
+        return len(self._block_id_rows)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        if index not in self._cache:
+            self._cache[index] = MappingExtension(
+                universe_size=self._universe_size,
+                blocks=blocks_from_block_ids(self._block_id_rows[index], self._t),
+            )
+        return self._cache[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (LazyMappings, list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LazyMappings(count={len(self)}, materialised={len(self._cache)})"
+
+
+def _sample_pairs_loop(rng, n: int, m: int, t: int):
+    """The sequential pair loop: per-draw transforms of the same float stream."""
+    full = universe_mask(n)
+    disjointness: List[DisjointnessInstance] = []
+    block_id_rows: List[List[int]] = []
+    alice_sets: List[int] = []
+    bob_sets: List[int] = []
+    sizes = block_sizes(n, t)
+    for _ in range(m):
+        pair = sample_ddisj_no(t, seed=rng)
+        permutation = mapping_permutation(n, rng)
+        block_of_element = [0] * n
+        cursor = 0
+        for block_index, size in enumerate(sizes):
+            for position in range(cursor, cursor + size):
+                block_of_element[permutation[position]] = block_index
+            cursor += size
+        in_alice = [False] * t
+        in_bob = [False] * t
+        for element in pair.alice:
+            in_alice[element] = True
+        for element in pair.bob:
+            in_bob[element] = True
+        alice_elements = [
+            element for element in range(n) if not in_alice[block_of_element[element]]
+        ]
+        bob_elements = [
+            element for element in range(n) if not in_bob[block_of_element[element]]
+        ]
+        disjointness.append(pair)
+        block_id_rows.append(block_of_element)
+        alice_sets.append(full & bitset_from_indices(alice_elements))
+        bob_sets.append(full & bitset_from_indices(bob_elements))
+    return disjointness, block_id_rows, alice_sets, bob_sets
+
+
+def _block_ids_batched(numpy, mapping_floats, sizes):
+    """Per-element block ids for a chunk of mapping draws, vectorized.
+
+    A mapping draw assigns element ``e`` the block whose rank range contains
+    ``rank(e)`` in the stable ascending order of the row's floats.  Ranks
+    themselves are never needed — only which of the ``t-1`` boundary ranks an
+    element's draw clears — so each row takes an O(n) ``partition`` for the
+    boundary values plus one flat ``searchsorted`` (rows offset into disjoint
+    value ranges) instead of a full argsort.  Rows where a boundary value is
+    duplicated (ties straddling a block boundary, a measure-zero event) are
+    detected by their block-size histogram and recomputed with the stable
+    argsort, so the result always equals the loop path's slicing.
+    """
+    rows, n = mapping_floats.shape
+    t = len(sizes)
+    if t == 1:
+        return numpy.zeros((rows, n), dtype=numpy.int64)
+    boundaries = numpy.cumsum(sizes[:-1])
+    partitioned = numpy.partition(mapping_floats, boundaries, axis=1)
+    boundary_values = partitioned[:, boundaries]
+    if t <= 16:
+        # Few boundaries: a broadcast compare-and-sum beats searchsorted.
+        block_ids = (
+            mapping_floats[:, None, :] >= boundary_values[:, :, None]
+        ).sum(axis=1, dtype=numpy.int64)
+    else:
+        row_offsets = 2.0 * numpy.arange(rows)[:, None]
+        flat_boundaries = (boundary_values + row_offsets).ravel()
+        flat_draws = (mapping_floats + row_offsets).ravel()
+        block_ids = (
+            numpy.searchsorted(flat_boundaries, flat_draws, side="right").reshape(rows, n)
+            - numpy.arange(rows)[:, None] * (t - 1)
+        )
+    counts = numpy.bincount(
+        (block_ids + numpy.arange(rows)[:, None] * t).ravel(), minlength=rows * t
+    ).reshape(rows, t)
+    expected = numpy.asarray(sizes)
+    bad_rows = numpy.nonzero((counts != expected[None, :]).any(axis=1))[0]
+    if len(bad_rows):  # pragma: no cover - measure-zero boundary ties
+        block_of_position = numpy.repeat(numpy.arange(t), sizes)
+        for row in bad_rows:
+            order = numpy.argsort(mapping_floats[row], kind="stable")
+            block_ids[row, order] = block_of_position
+    return block_ids
+
+
+def _sample_pairs_batched(numpy, rng, n: int, m: int, t: int):
+    """Bulk pair sampling: one float draw + vectorized masks per pair chunk."""
+    stride = t + 1 + n
+    chunk_pairs = max(1, _PAIR_CHUNK_FLOATS // stride)
+    sizes = block_sizes(n, t)
+    disjointness: List[DisjointnessInstance] = []
+    block_id_rows: List = []
+    alice_sets: List[int] = []
+    bob_sets: List[int] = []
+    for start in range(0, m, chunk_pairs):
+        rows = min(chunk_pairs, m - start)
+        draws = rng.random_array(rows * stride)
+        if draws is None:
+            # Too small a batch to amortise the state transfer (or NumPy
+            # went away): the loop path consumes the identical draws.
+            part = _sample_pairs_loop(rng, n, rows, t)
+            disjointness.extend(part[0])
+            block_id_rows.extend(part[1])
+            alice_sets.extend(part[2])
+            bob_sets.extend(part[3])
+            continue
+        block = draws.reshape(rows, stride)
+        in_alice, in_bob, planted = gadget_membership_matrix(numpy, block, t)
+        block_of_element = _block_ids_batched(numpy, block[:, t + 1 :], sizes)
+        alice_sets.extend(
+            masks_from_bool_rows(
+                ~numpy.take_along_axis(in_alice, block_of_element, axis=1)
+            )
+        )
+        bob_sets.extend(
+            masks_from_bool_rows(
+                ~numpy.take_along_axis(in_bob, block_of_element, axis=1)
+            )
+        )
+        for row in range(rows):
+            disjointness.append(
+                DisjointnessInstance(
+                    t=t,
+                    alice=frozenset(numpy.nonzero(in_alice[row])[0].tolist()),
+                    bob=frozenset(numpy.nonzero(in_bob[row])[0].tolist()),
+                    z=1,
+                    planted_element=int(planted[row]),
+                )
+            )
+            block_id_rows.append(block_of_element[row])
+    return disjointness, block_id_rows, alice_sets, bob_sets
+
+
+def _rebuild_pair_masks(
+    pair: DisjointnessInstance, mapping: MappingExtension, full: int
+) -> Tuple[int, int]:
+    """Masks of (S, T) for one pair under an already-drawn mapping."""
+    return (
+        full & ~mapping.extend_mask(pair.alice),
+        full & ~mapping.extend_mask(pair.bob),
+    )
+
+
 def sample_dsc(
     parameters: DSCParameters,
     seed: SeedLike = None,
     theta: Optional[int] = None,
 ) -> DSCInstance:
-    """Sample an instance from D_SC (optionally forcing the hidden bit θ)."""
+    """Sample an instance from D_SC (optionally forcing the hidden bit θ).
+
+    Sampling cost is O(total incidences): the whole pair block draws through
+    bulk :meth:`~repro.utils.rng.RandomSource.random_array` calls and the 2m
+    masks assemble as packed-bit matrix rows.  Without NumPy (or with
+    ``REPRO_SAMPLER_BATCH=off``) the per-draw loop path runs instead,
+    producing bit-identical instances from the identical float stream.
+    """
     rng = spawn_rng(seed)
     n = parameters.universe_size
     m = parameters.num_pairs
     t = parameters.resolved_t()
     full = universe_mask(n)
 
-    disjointness: List[DisjointnessInstance] = []
-    mappings: List[MappingExtension] = []
-    alice_sets: List[int] = []
-    bob_sets: List[int] = []
-    for _ in range(m):
-        pair = sample_ddisj_no(t, seed=rng.spawn())
-        mapping = random_mapping_extension(n, t, seed=rng.spawn())
-        disjointness.append(pair)
-        mappings.append(mapping)
-        alice_sets.append(full & ~mapping.extend_mask(pair.alice))
-        bob_sets.append(full & ~mapping.extend_mask(pair.bob))
+    numpy = batching_numpy()
+    if numpy is not None:
+        disjointness, block_id_rows, alice_sets, bob_sets = _sample_pairs_batched(
+            numpy, rng, n, m, t
+        )
+    else:
+        disjointness, block_id_rows, alice_sets, bob_sets = _sample_pairs_loop(
+            rng, n, m, t
+        )
+    mappings = LazyMappings(n, t, block_id_rows)
 
     if theta is None:
         theta = rng.randint(0, 1)
@@ -160,11 +373,11 @@ def sample_dsc(
     special_index: Optional[int] = None
     if theta == 1:
         special_index = rng.randrange(m)
-        pair = sample_ddisj_yes(t, seed=rng.spawn())
+        pair = sample_ddisj_yes(t, seed=rng)
         disjointness[special_index] = pair
-        mapping = mappings[special_index]
-        alice_sets[special_index] = full & ~mapping.extend_mask(pair.alice)
-        bob_sets[special_index] = full & ~mapping.extend_mask(pair.bob)
+        alice_sets[special_index], bob_sets[special_index] = _rebuild_pair_masks(
+            pair, mappings[special_index], full
+        )
 
     return DSCInstance(
         parameters=parameters,
@@ -192,12 +405,13 @@ def sample_dsc_random_partition(
     assignment: Dict[int, str] = {}
     alice_sets: Dict[int, int] = {}
     bob_sets: Dict[int, int] = {}
+    draws = rng.random_batch(2 * instance.num_pairs)
     for global_index in range(2 * instance.num_pairs):
         if global_index < instance.num_pairs:
             mask = instance.alice_sets[global_index]
         else:
             mask = instance.bob_sets[global_index - instance.num_pairs]
-        owner = "alice" if rng.bernoulli(0.5) else "bob"
+        owner = "alice" if draws[global_index] < 0.5 else "bob"
         assignment[global_index] = owner
         if owner == "alice":
             alice_sets[global_index] = mask

@@ -18,7 +18,7 @@ from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 from repro.exceptions import DistributionError
 from repro.utils.bitset import bitset_from_iterable
-from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.rng import SeedLike, argsort_floats, batching_numpy, spawn_rng
 
 
 @dataclass(frozen=True)
@@ -79,14 +79,63 @@ class MappingExtension:
         return table
 
 
+def block_sizes(universe_size: int, t: int) -> List[int]:
+    """Block sizes of a mapping-extension of [t] to [n].
+
+    When ``t`` does not divide ``n`` the first ``n mod t`` blocks receive one
+    extra element, so the blocks always partition the whole universe (the
+    paper's asymptotic setting has t | n).
+    """
+    base_size = universe_size // t
+    remainder = universe_size % t
+    return [base_size + (1 if index < remainder else 0) for index in range(t)]
+
+
+def blocks_from_permutation(
+    permutation, universe_size: int, t: int
+) -> Tuple[FrozenSet[int], ...]:
+    """Cut a universe permutation into the t consecutive mapping blocks."""
+    blocks: List[FrozenSet[int]] = []
+    cursor = 0
+    for size in block_sizes(universe_size, t):
+        chunk = permutation[cursor : cursor + size]
+        blocks.append(frozenset(chunk.tolist() if hasattr(chunk, "tolist") else chunk))
+        cursor += size
+    return tuple(blocks)
+
+
+def blocks_from_block_ids(block_ids, t: int) -> Tuple[FrozenSet[int], ...]:
+    """Group universe elements by their block id into the t mapping blocks."""
+    members: List[List[int]] = [[] for _ in range(t)]
+    sequence = block_ids.tolist() if hasattr(block_ids, "tolist") else block_ids
+    for element, block_index in enumerate(sequence):
+        members[block_index].append(element)
+    return tuple(frozenset(block) for block in members)
+
+
+def mapping_permutation(universe_size: int, rng) -> "list":
+    """The mapping-extension draw protocol: argsort of ``n`` uniforms.
+
+    Consumes exactly ``universe_size`` floats from ``rng``; the stable
+    argsort of i.i.d. uniforms is a uniformly random permutation, and the
+    fixed budget is what lets the D_SC sampler draw every pair's mapping
+    through one bulk :meth:`~repro.utils.rng.RandomSource.random_array` call,
+    bit-identical to this sequential path.
+    """
+    draws = rng.random_batch(universe_size)
+    numpy = batching_numpy()
+    if numpy is not None and universe_size >= 64:
+        return numpy.argsort(numpy.asarray(draws), kind="stable").tolist()
+    return argsort_floats(draws)
+
+
 def random_mapping_extension(
     universe_size: int, t: int, seed: SeedLike = None
 ) -> MappingExtension:
     """Sample a uniformly random mapping-extension of [t] to [n].
 
-    Requires ``t ≤ n``.  When ``t`` does not divide ``n`` the first
-    ``n mod t`` blocks receive one extra element, so the blocks always
-    partition the whole universe (the paper's asymptotic setting has t | n).
+    Requires ``t ≤ n``.  Consumes ``n`` uniforms (see
+    :func:`mapping_permutation`); block sizes follow :func:`block_sizes`.
     """
     if t < 1:
         raise DistributionError(f"t must be >= 1, got {t}")
@@ -95,13 +144,8 @@ def random_mapping_extension(
             f"t={t} cannot exceed the universe size {universe_size}"
         )
     rng = spawn_rng(seed)
-    permutation = rng.permutation(universe_size)
-    base_size = universe_size // t
-    remainder = universe_size % t
-    blocks: List[FrozenSet[int]] = []
-    cursor = 0
-    for index in range(t):
-        size = base_size + (1 if index < remainder else 0)
-        blocks.append(frozenset(permutation[cursor : cursor + size]))
-        cursor += size
-    return MappingExtension(universe_size=universe_size, blocks=tuple(blocks))
+    permutation = mapping_permutation(universe_size, rng)
+    return MappingExtension(
+        universe_size=universe_size,
+        blocks=blocks_from_permutation(permutation, universe_size, t),
+    )

@@ -16,14 +16,24 @@ The hard distribution ``D_Disj`` of Section 2.2:
 ``D_Disj^N = (D_Disj | Z = 1)`` the No instances.  Note the slightly confusing
 paper convention: the set cover distribution ``D_SC`` embeds *No* instances
 (single intersection) for the non-special indices.
+
+Draw protocol: every gadget consumes a fixed float budget from its
+:class:`~repro.utils.rng.RandomSource` — ``t`` uniforms for the element
+rolls (``⌊3u⌋``: 0 drops the element from both sets, 1 keeps it in B only,
+2 keeps it in A only) plus one uniform for the planted element of a No
+instance (``⌊t·u⌋``).  Fixed budgets are what lets
+:func:`sample_ddisj_no_bulk` draw whole gadget collections through one
+:meth:`~repro.utils.rng.RandomSource.random_array` call; the loop path
+applies the identical transforms to the identical floats, so batched and
+sequential sampling are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from typing import FrozenSet, List, Optional
 
-from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.rng import SeedLike, batching_numpy, spawn_rng
 
 
 @dataclass(frozen=True)
@@ -66,12 +76,18 @@ def disjointness_answer(instance: DisjointnessInstance) -> str:
     return "Yes" if instance.is_disjoint else "No"
 
 
-def _sample_base(t: int, rng) -> tuple:
-    """The element-wise 1/3-1/3-1/3 dropping step (always ends disjoint)."""
+def _sets_from_rolls(draws) -> tuple:
+    """Apply the 1/3-1/3-1/3 roll transform ``⌊3u⌋`` to a float sequence."""
+    numpy = batching_numpy()
+    if numpy is not None and len(draws) >= 64:
+        rolls = (numpy.asarray(draws) * 3).astype(numpy.int64)
+        alice = set(numpy.nonzero(rolls == 2)[0].tolist())
+        bob = set(numpy.nonzero(rolls == 1)[0].tolist())
+        return alice, bob
     alice = set()
     bob = set()
-    for element in range(t):
-        roll = rng.randrange(3)
+    for element, draw in enumerate(draws):
+        roll = int(draw * 3)
         if roll == 0:
             continue  # dropped from both
         if roll == 1:
@@ -79,6 +95,36 @@ def _sample_base(t: int, rng) -> tuple:
         else:
             alice.add(element)  # dropped from B only
     return alice, bob
+
+
+def _sample_base(t: int, rng) -> tuple:
+    """The element-wise dropping step (always ends disjoint): t float rolls."""
+    return _sets_from_rolls(rng.random_batch(t))
+
+
+def _planted_element(t: int, draw: float) -> int:
+    """Map one uniform to the planted intersection element ``⌊t·u⌋``."""
+    return min(int(draw * t), t - 1)
+
+
+def gadget_membership_matrix(numpy, floats, t: int):
+    """Vectorized D_Disj^N transform for a ``(rows, t+1)`` float matrix.
+
+    The single bit-identity-critical implementation of the batched roll
+    transform — ``⌊3u⌋`` rolls plus the ``⌊t·u⌋`` planted element forced
+    into both sets — shared by :func:`sample_ddisj_no_bulk` and the D_SC
+    pair sampler.  Returns ``(in_alice, in_bob, planted)``: two boolean
+    ``(rows, t)`` membership matrices and the planted element per row.
+    """
+    rows = floats.shape[0]
+    rolls = (floats[:, :t] * 3).astype(numpy.int64)
+    planted = numpy.minimum((floats[:, t] * t).astype(numpy.int64), t - 1)
+    in_alice = rolls == 2
+    in_bob = rolls == 1
+    row_index = numpy.arange(rows)
+    in_alice[row_index, planted] = True
+    in_bob[row_index, planted] = True
+    return in_alice, in_bob, planted
 
 
 def sample_ddisj(t: int, seed: SeedLike = None) -> DisjointnessInstance:
@@ -90,7 +136,7 @@ def sample_ddisj(t: int, seed: SeedLike = None) -> DisjointnessInstance:
     z = rng.randint(0, 1)
     planted = None
     if z == 1:
-        planted = rng.randrange(t)
+        planted = _planted_element(t, rng.random())
         alice.add(planted)
         bob.add(planted)
     return DisjointnessInstance(
@@ -119,7 +165,7 @@ def sample_ddisj_no(t: int, seed: SeedLike = None) -> DisjointnessInstance:
         raise ValueError(f"t must be >= 1, got {t}")
     rng = spawn_rng(seed)
     alice, bob = _sample_base(t, rng)
-    planted = rng.randrange(t)
+    planted = _planted_element(t, rng.random())
     alice.add(planted)
     bob.add(planted)
     return DisjointnessInstance(
@@ -129,6 +175,44 @@ def sample_ddisj_no(t: int, seed: SeedLike = None) -> DisjointnessInstance:
         z=1,
         planted_element=planted,
     )
+
+
+def sample_ddisj_no_bulk(
+    t: int, count: int, seed: SeedLike = None
+) -> List[DisjointnessInstance]:
+    """``count`` i.i.d. samples from D_Disj^N through one bulk float draw.
+
+    Bit-identical to ``count`` sequential :func:`sample_ddisj_no` calls on
+    the same source: the draw layout is gadget-major (``t`` rolls then the
+    planted uniform, per gadget), exactly the order the sequential path
+    consumes.  The whole budget comes from a single
+    :meth:`~repro.utils.rng.RandomSource.random_array` call and the roll
+    transform runs as one vectorized pass over the ``(count, t+1)`` matrix.
+    """
+    if t < 1:
+        raise ValueError(f"t must be >= 1, got {t}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = spawn_rng(seed)
+    numpy = batching_numpy()
+    stride = t + 1
+    draws = rng.random_array(count * stride) if numpy is not None else None
+    if draws is None:
+        return [sample_ddisj_no(t, seed=rng) for _ in range(count)]
+    block = draws.reshape(count, stride)
+    in_alice, in_bob, planted_all = gadget_membership_matrix(numpy, block, t)
+    instances: List[DisjointnessInstance] = []
+    for index in range(count):
+        instances.append(
+            DisjointnessInstance(
+                t=t,
+                alice=frozenset(numpy.nonzero(in_alice[index])[0].tolist()),
+                bob=frozenset(numpy.nonzero(in_bob[index])[0].tolist()),
+                z=1,
+                planted_element=int(planted_all[index]),
+            )
+        )
+    return instances
 
 
 def enumerate_ddisj_support(t: int):

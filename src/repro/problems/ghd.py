@@ -10,6 +10,16 @@ Distributions:
 * ``U(a, b)`` — U conditioned on |A| = a, |B| = b.
 * ``D_GHD^Y`` / ``D_GHD^N`` — U(a, b) conditioned on the Yes / No gap event.
 * ``D_GHD`` — the even mixture of the two.
+
+Draw protocol: a fixed-size subset is the first ``a`` indices of the stable
+argsort of ``t`` uniforms, so one rejection-sampling attempt consumes exactly
+``2t`` floats (Alice's then Bob's).  Conditioned samples draw attempts in
+fixed blocks of :data:`ATTEMPT_BLOCK` — a whole block's floats are consumed
+at once and the attempts after the first accepted one are discarded — so the
+batched path can draw each block through one bulk call and evaluate every
+attempt as a vectorized argsort/XOR pass, while the loop path walks the
+identical floats attempt by attempt.  Fixed budgets per attempt and per
+block keep the two paths bit-identical.
 """
 
 from __future__ import annotations
@@ -19,7 +29,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 from repro.exceptions import DistributionError
-from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.rng import SeedLike, argsort_floats, batching_numpy, spawn_rng
 
 
 @dataclass(frozen=True)
@@ -58,8 +68,9 @@ def sample_uniform_ghd(t: int, seed: SeedLike = None) -> GHDInstance:
     if t < 1:
         raise ValueError(f"t must be >= 1, got {t}")
     rng = spawn_rng(seed)
-    alice = frozenset(e for e in range(t) if rng.bernoulli(0.5))
-    bob = frozenset(e for e in range(t) if rng.bernoulli(0.5))
+    draws = rng.random_batch(2 * t)
+    alice = frozenset(e for e in range(t) if draws[e] < 0.5)
+    bob = frozenset(e for e in range(t) if draws[t + e] < 0.5)
     return GHDInstance(t=t, alice=alice, bob=bob)
 
 
@@ -74,9 +85,74 @@ def default_set_sizes(t: int) -> Tuple[int, int]:
     return half, half
 
 
-def _sample_fixed_sizes(t: int, a: int, b: int, rng) -> Tuple[FrozenSet[int], FrozenSet[int]]:
-    alice = frozenset(rng.sample(range(t), a))
-    bob = frozenset(rng.sample(range(t), b))
+#: Attempts per rejection-sampling block.  Part of the draw protocol: a
+#: conditioned sample consumes whole blocks of ``ATTEMPT_BLOCK * 2t`` floats,
+#: discarding the attempts after the accepted one, so block boundaries are
+#: identical on the batched and loop paths.
+ATTEMPT_BLOCK = 64
+
+
+def _subset_from_floats(draws, size: int) -> FrozenSet[int]:
+    """The first ``size`` indices of the stable argsort — a uniform subset."""
+    return frozenset(argsort_floats(draws)[:size])
+
+
+def _evaluate_block_loop(draws, t, a, b, want_yes, threshold):
+    """Walk one attempt block sequentially; first attempt in the gap wins."""
+    for attempt in range(ATTEMPT_BLOCK):
+        base = attempt * 2 * t
+        alice = _subset_from_floats(draws[base : base + t], a)
+        bob = _subset_from_floats(draws[base + t : base + 2 * t], b)
+        distance = len(alice ^ bob)
+        if want_yes and distance >= t / 2 + threshold:
+            return alice, bob
+        if not want_yes and distance <= t / 2 - threshold:
+            return alice, bob
+    return None
+
+
+def _prefix_membership(numpy, row_draws, size: int):
+    """Boolean membership of each row's ``size`` smallest draws.
+
+    The a-th smallest value (one ``partition`` pass) bounds the subset, which
+    is an order of magnitude cheaper than a full stable argsort.  Rows where
+    a duplicated boundary value breaks the count (a measure-zero tie event)
+    are recomputed with the stable argsort, so membership always equals the
+    loop path's argsort prefix.
+    """
+    rows, t = row_draws.shape
+    if size <= 0:
+        return numpy.zeros((rows, t), dtype=bool)
+    if size >= t:
+        return numpy.ones((rows, t), dtype=bool)
+    boundary = numpy.partition(row_draws, size - 1, axis=1)[:, size - 1 : size]
+    member = row_draws <= boundary
+    bad_rows = numpy.nonzero(member.sum(axis=1) != size)[0]
+    for row in bad_rows:  # pragma: no cover - measure-zero boundary ties
+        member[row] = False
+        order = numpy.argsort(row_draws[row], kind="stable")
+        member[row, order[:size]] = True
+    return member
+
+
+def _evaluate_block_vectorized(numpy, draws, t, a, b, want_yes, threshold):
+    """Evaluate one attempt block as a partition/XOR pass; exact winner row."""
+    arr = draws if hasattr(draws, "reshape") else numpy.asarray(draws)
+    arr = arr.reshape(ATTEMPT_BLOCK, 2, t)
+    member_a = _prefix_membership(numpy, arr[:, 0, :], a)
+    member_b = _prefix_membership(numpy, arr[:, 1, :], b)
+    distances = (member_a ^ member_b).sum(axis=1)
+    if want_yes:
+        accepted = numpy.nonzero(distances >= t / 2 + threshold)[0]
+    else:
+        accepted = numpy.nonzero(distances <= t / 2 - threshold)[0]
+    if len(accepted) == 0:
+        return None
+    winner = int(accepted[0])
+    # Materialise the winning subsets through the loop-path transform so the
+    # returned instance is identical draw for draw.
+    alice = _subset_from_floats(arr[winner, 0, :].tolist(), a)
+    bob = _subset_from_floats(arr[winner, 1, :].tolist(), b)
     return alice, bob
 
 
@@ -134,14 +210,24 @@ def _sample_conditioned(
         raise DistributionError(f"set sizes must lie in [0, {t}], got a={a}, b={b}")
     rng = spawn_rng(seed)
     threshold = math.sqrt(t)
-    for _ in range(max_attempts):
-        alice, bob = _sample_fixed_sizes(t, a, b, rng)
-        distance = len(alice ^ bob)
-        if want_yes and distance >= t / 2 + threshold:
-            return GHDInstance(t=t, alice=alice, bob=bob, label="Yes")
-        if not want_yes and distance <= t / 2 - threshold:
-            return GHDInstance(t=t, alice=alice, bob=bob, label="No")
+    numpy = batching_numpy()
+    attempts = 0
+    while attempts < max_attempts:
+        block_floats = 2 * t * ATTEMPT_BLOCK
+        draws = rng.random_array(block_floats) if numpy is not None else None
+        if draws is None:
+            draws = rng.random_batch(block_floats)
+        attempts += ATTEMPT_BLOCK
+        if numpy is not None:
+            found = _evaluate_block_vectorized(numpy, draws, t, a, b, want_yes, threshold)
+        else:
+            found = _evaluate_block_loop(draws, t, a, b, want_yes, threshold)
+        if found is not None:
+            alice, bob = found
+            return GHDInstance(
+                t=t, alice=alice, bob=bob, label="Yes" if want_yes else "No"
+            )
     raise DistributionError(
         f"failed to sample a {'Yes' if want_yes else 'No'} GHD instance with "
-        f"t={t}, a={a}, b={b} after {max_attempts} attempts"
+        f"t={t}, a={a}, b={b} after {attempts} attempts"
     )

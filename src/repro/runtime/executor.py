@@ -256,10 +256,10 @@ def run_cached(
     functions are fingerprinted under their qualified name.  Returns the
     result plus the outcome status (``"computed"``/``"cached"``).
     """
-    from repro.experiments.experiment_defs import EXPERIMENT_REGISTRY
+    from repro.experiments.runners import RUNNER_REGISTRY
 
     runner_id = next(
-        (eid for eid, fn in EXPERIMENT_REGISTRY.items() if fn is func),
+        (eid for eid, fn in RUNNER_REGISTRY.items() if fn is func),
         f"{func.__module__}.{func.__qualname__}",
     )
     seed = kwargs.get("seed")

@@ -9,7 +9,13 @@ new workload sweep is a one-liner registration here rather than a new script.
 
 The twelve paper experiments (E1–E12) are auto-registered at import time,
 wrapping :data:`repro.experiments.experiment_defs.EXPERIMENT_REGISTRY`, so
-``repro scenarios`` always lists at least the paper's claims.
+``repro scenarios`` always lists at least the paper's claims.  On top of
+them the adversarial workload axis registers as first-class grids: ``ADV``
+expands ``{dsc, dmc, random, coverage} × {adversarial, random} arrival ×
+{Algorithm 1, all five baselines}`` over the ``WL`` runner (tags
+``adversarial`` / ``workload``), so the paper's hard instances sweep through
+the sharded executor, the result store, and the shared-memory instance
+transport like any other workload.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ from repro.experiments.experiment_defs import (
     EXPERIMENT_DESCRIPTIONS,
     EXPERIMENT_REGISTRY,
 )
+from repro.experiments.runners import RUNNER_REGISTRY
+from repro.experiments.workload_defs import ALGORITHM_KINDS, WORKLOAD_KINDS
 
 ParamItems = Tuple[Tuple[str, Any], ...]
 
@@ -62,9 +70,10 @@ class ScenarioSpec:
     name:
         Unique registry key (``"E5"``, ``"E1/n-sweep[n=4096]"`` ...).
     runner:
-        Key into :data:`EXPERIMENT_REGISTRY` naming the experiment function.
-        Keeping a *name* instead of the function keeps specs picklable and
-        lets worker processes re-resolve the callable after a fork/spawn.
+        Key into :data:`~repro.experiments.runners.RUNNER_REGISTRY` naming
+        the experiment function.  Keeping a *name* instead of the function
+        keeps specs picklable and lets worker processes re-resolve the
+        callable after a fork/spawn.
     params:
         Frozen keyword overrides passed to the runner.
     seed:
@@ -84,7 +93,7 @@ class ScenarioSpec:
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.runner not in EXPERIMENT_REGISTRY:
+        if self.runner not in RUNNER_REGISTRY:
             raise KeyError(
                 f"scenario {self.name!r} references unknown runner {self.runner!r}"
             )
@@ -99,7 +108,7 @@ class ScenarioSpec:
 
     def resolve_runner(self) -> Callable[..., Any]:
         """Look up the experiment function this scenario runs."""
-        return EXPERIMENT_REGISTRY[self.runner]
+        return RUNNER_REGISTRY[self.runner]
 
 
 @dataclass(frozen=True)
@@ -251,4 +260,42 @@ def _register_builtin_experiments() -> None:
         )
 
 
+#: Root seed of the adversarial workload grids (arbitrary but fixed, so the
+#: result store fingerprints are stable across runs and machines).
+ADVERSARIAL_GRID_SEED = 20170517
+
+
+def _register_workload_scenarios() -> None:
+    """Register the workload axis: the default WL scenario plus the ADV grid.
+
+    ``ADV`` is the full adversarial-workload cartesian product — every
+    workload kind under both arrival orders against Algorithm 1 and all five
+    baselines — each cell a store/resume-cacheable task for the sharded
+    executor that reports its :class:`~repro.streaming.space.SpaceReport`
+    peaks.
+    """
+    if "WL" not in SCENARIO_REGISTRY:
+        register_scenario(
+            "WL",
+            runner="WL",
+            seed=ADVERSARIAL_GRID_SEED,
+            description="one workload x algorithm x arrival-order run (default: dsc)",
+            tags=("workload",),
+        )
+    if not any(name.startswith("ADV[") for name in SCENARIO_REGISTRY):
+        register_grid(
+            "ADV",
+            runner="WL",
+            axes={
+                "workload": list(WORKLOAD_KINDS),
+                "order": ["adversarial", "random"],
+                "algorithm": list(ALGORITHM_KINDS),
+            },
+            seed=ADVERSARIAL_GRID_SEED,
+            description="adversarial workload grid: workload x arrival order x algorithm",
+            tags=("adversarial", "workload"),
+        )
+
+
 _register_builtin_experiments()
+_register_workload_scenarios()

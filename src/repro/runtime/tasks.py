@@ -13,8 +13,8 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from repro.experiments.experiment_defs import EXPERIMENT_REGISTRY
 from repro.experiments.report import result_to_dict
+from repro.experiments.runners import RUNNER_REGISTRY
 from repro.runtime.scenarios import ParamItems, ScenarioSpec
 from repro.runtime.seeding import repetition_seed, scenario_seed
 from repro.setcover.instance import SetSystem
@@ -109,6 +109,6 @@ def execute_task(task: RuntimeTask) -> Dict[str, Any]:
     can pickle it; the dict form crosses the process boundary and is what the
     result store persists.
     """
-    runner = EXPERIMENT_REGISTRY[task.runner]
+    runner = RUNNER_REGISTRY[task.runner]
     result = runner(**task.kwargs())
     return result_to_dict(result)

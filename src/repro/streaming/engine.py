@@ -4,7 +4,9 @@ The engine is deliberately thin: it builds the stream, hands it to the
 algorithm, then verifies the result against the declared budgets and (when
 asked) against the instance itself.  Keeping verification outside the
 algorithms means an algorithm cannot accidentally report better numbers than
-it achieved.
+it achieved — in particular, an empty solution is verified like any other,
+so a broken algorithm cannot report an unverified "cover" of size 0 over a
+nonempty universe.
 """
 
 from __future__ import annotations
@@ -16,17 +18,29 @@ from repro.exceptions import PassBudgetExceededError
 from repro.setcover.instance import SetSystem
 from repro.setcover.verify import verify_cover
 from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
+from repro.streaming.space import SpaceMeter
 from repro.streaming.stream import SetStream, StreamOrder
 from repro.utils.rng import SeedLike
 
 
 @dataclass
 class EngineConfig:
-    """Configuration for a single engine run."""
+    """Configuration for a single engine run.
+
+    ``pass_budget`` bounds the passes an algorithm may consume;
+    ``space_budget`` (words) arms a fresh :class:`SpaceMeter` on the
+    algorithm for the run, so exceeding the analysed space bound raises
+    :class:`~repro.exceptions.SpaceBudgetExceededError` mid-run (Remark 3.9)
+    and the final :class:`~repro.streaming.space.SpaceReport` lands on the
+    :class:`StreamingResult`.  ``verify_solution`` checks the returned cover
+    against the instance — set it to ``False`` only for estimation-only or
+    max-coverage algorithms whose solutions are not meant to be covers.
+    """
 
     order: StreamOrder = StreamOrder.ADVERSARIAL
     seed: SeedLike = None
     pass_budget: Optional[int] = None
+    space_budget: Optional[int] = None
     verify_solution: bool = True
 
 
@@ -42,6 +56,24 @@ class MultiPassEngine:
         system: SetSystem,
     ) -> StreamingResult:
         """Execute the algorithm and enforce the configured budgets."""
+        current = algorithm.space
+        if self.config.space_budget is not None:
+            # Arm a fresh budgeted meter for this run; the algorithm charges
+            # its retained state to it, so the budget is enforced mid-run and
+            # the meter's report is what _finalize puts on the result (and
+            # what a caller inspects after a budget overrun).  Remember the
+            # meter this displaces — through chains of budgeted runs — so a
+            # later unbudgeted run can fall back to the algorithm's own
+            # declared budget.
+            meter = SpaceMeter(budget=self.config.space_budget)
+            meter.engine_displaced = getattr(current, "engine_displaced", current)
+            algorithm.space = meter
+        elif hasattr(current, "engine_displaced"):
+            # A previous budgeted engine run armed the current meter; without
+            # an engine budget in force the algorithm must not inherit it (or
+            # its stale charges).  Re-arm a fresh meter carrying whatever
+            # budget the displaced (constructor-time) meter declared.
+            algorithm.space = SpaceMeter(budget=current.engine_displaced.budget)
         stream = SetStream(
             system,
             order=self.config.order,
@@ -53,7 +85,7 @@ class MultiPassEngine:
             and result.passes > self.config.pass_budget
         ):
             raise PassBudgetExceededError(result.passes, self.config.pass_budget)
-        if self.config.verify_solution and result.solution:
+        if self.config.verify_solution:
             verify_cover(system, result.solution)
         return result
 
@@ -64,6 +96,7 @@ def run_streaming_algorithm(
     order: StreamOrder = StreamOrder.ADVERSARIAL,
     seed: SeedLike = None,
     pass_budget: Optional[int] = None,
+    space_budget: Optional[int] = None,
     verify_solution: bool = True,
 ) -> StreamingResult:
     """One-call convenience wrapper around :class:`MultiPassEngine`."""
@@ -72,6 +105,7 @@ def run_streaming_algorithm(
             order=order,
             seed=seed,
             pass_budget=pass_budget,
+            space_budget=space_budget,
             verify_solution=verify_solution,
         )
     )

@@ -44,6 +44,38 @@ def bitset_from_indices(indices: Iterable[int]) -> int:
     return int.from_bytes(bytes(buffer), "little")
 
 
+def masks_from_bool_rows(bits) -> "list[int]":
+    """Convert a boolean ``(rows, n)`` NumPy matrix to one int mask per row.
+
+    The bulk companion of :func:`bitset_from_indices` for the batched
+    instance generators: one ``packbits`` call packs every row's membership
+    vector, then each row converts with a single ``int.from_bytes`` —
+    output-identical to building each mask element by element.
+    """
+    import numpy as np
+
+    if bits.shape[1] == 0:
+        return [0] * bits.shape[0]
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    data = packed.tobytes()
+    stride = packed.shape[1]
+    return [
+        int.from_bytes(data[row * stride : (row + 1) * stride], "little")
+        for row in range(packed.shape[0])
+    ]
+
+
+def mask_from_bools(bits) -> int:
+    """Pack a boolean length-``n`` NumPy vector into a single int mask."""
+    import numpy as np
+
+    if len(bits) == 0:
+        return 0
+    return int.from_bytes(
+        np.packbits(bits, bitorder="little").tobytes(), "little"
+    )
+
+
 def bitset_to_set(mask: int) -> Set[int]:
     """Expand a bitset into a plain Python set of element indices."""
     return set(iter_bits(mask))

@@ -3,12 +3,16 @@
 The format is the conventional one used by set cover benchmark collections
 (and convenient to produce from logs): a header line ``n m`` followed by one
 line per set listing its elements as whitespace-separated integers.  Lines
-starting with ``#`` are comments; metadata (planted optimum, workload kind)
-is stored in comments so round-trips preserve it.
+starting with ``#`` are comments; metadata (planted optimum, workload kind,
+and every other JSON-representable metadata entry) is stored in comments so
+round-trips preserve it.
 
 Example::
 
     # planted_opt: 3
+    # kind: dsc
+    # meta theta: 1
+    # meta alpha: 2
     6 3
     0 1 2
     2 3 4
@@ -17,6 +21,7 @@ Example::
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import List, Optional, TextIO, Union
 
@@ -26,16 +31,44 @@ PathLike = Union[str, Path]
 
 _METADATA_PREFIX = "# planted_opt:"
 _KIND_PREFIX = "# kind:"
+_META_PREFIX = "# meta "
 
 
 def dumps_instance(instance: SetCoverInstance) -> str:
-    """Serialise an instance to the plain-text format."""
+    """Serialise an instance to the plain-text format.
+
+    The whole ``metadata`` dict is written: ``kind`` keeps its legacy
+    comment line, every other entry becomes a ``# meta <key>: <json>`` line
+    (in insertion order), so :func:`loads_instance` restores the dict
+    exactly for JSON-representable values.
+    """
     lines: List[str] = []
     if instance.planted_opt is not None:
         lines.append(f"{_METADATA_PREFIX} {instance.planted_opt}")
     kind = instance.metadata.get("kind")
     if kind:
         lines.append(f"{_KIND_PREFIX} {kind}")
+    for key, value in instance.metadata.items():
+        if key == "kind":
+            continue
+        if not key or ":" in key or "\n" in key:
+            # The line format partitions at the first ':'; such a key would
+            # serialise fine but fail (or mis-parse) on load, breaking the
+            # round-trip promise — reject it at write time.
+            raise ValueError(f"metadata key {key!r} cannot be serialised")
+        try:
+            encoded = json.dumps(value)
+        except TypeError as error:
+            raise ValueError(
+                f"metadata value for {key!r} cannot be serialised: {error}"
+            ) from error
+        if json.loads(encoded) != value:
+            # E.g. a tuple would silently come back as a list; refuse rather
+            # than break the exact-round-trip promise.
+            raise ValueError(
+                f"metadata value for {key!r} does not survive a JSON round-trip"
+            )
+        lines.append(f"{_META_PREFIX}{key}: {encoded}")
     system = instance.system
     lines.append(f"{system.universe_size} {system.num_sets}")
     for index in range(system.num_sets):
@@ -46,9 +79,10 @@ def dumps_instance(instance: SetCoverInstance) -> str:
 
 
 def loads_instance(text: str) -> SetCoverInstance:
-    """Parse an instance from the plain-text format."""
+    """Parse an instance from the plain-text format, restoring all metadata."""
     planted_opt: Optional[int] = None
     kind: Optional[str] = None
+    extra_metadata: List[tuple] = []
     data_lines: List[str] = []
     for raw_line in text.splitlines():
         line = raw_line.strip()
@@ -59,6 +93,13 @@ def loads_instance(text: str) -> SetCoverInstance:
             continue
         if line.startswith(_KIND_PREFIX):
             kind = line[len(_KIND_PREFIX):].strip()
+            continue
+        if line.startswith(_META_PREFIX):
+            body = line[len(_META_PREFIX):]
+            key, _, encoded = body.partition(":")
+            if not _:
+                raise ValueError(f"malformed metadata line {line!r}")
+            extra_metadata.append((key.strip(), json.loads(encoded.strip())))
             continue
         if line.startswith("#"):
             continue
@@ -79,6 +120,7 @@ def loads_instance(text: str) -> SetCoverInstance:
         sets.append([int(token) for token in line.split()] if line != "-" else [])
     system = SetSystem(universe_size, sets)
     metadata = {"kind": kind} if kind else {}
+    metadata.update(extra_metadata)
     return SetCoverInstance(system, planted_opt=planted_opt, metadata=metadata)
 
 

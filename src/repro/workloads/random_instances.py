@@ -20,23 +20,8 @@ import math
 from typing import List, Optional, Sequence
 
 from repro.setcover.instance import SetCoverInstance, SetSystem
-from repro.utils.bitset import bitset_from_indices
+from repro.utils.bitset import bitset_from_indices, masks_from_bool_rows
 from repro.utils.rng import RandomSource, SeedLike, spawn_rng
-
-
-def _pack_bool_rows(bits) -> List[int]:
-    """Convert a boolean (num_sets, universe_size) NumPy matrix to int masks."""
-    import numpy as np
-
-    if bits.shape[1] == 0:
-        return [0] * bits.shape[0]
-    packed = np.packbits(bits, axis=1, bitorder="little")
-    data = packed.tobytes()
-    stride = packed.shape[1]
-    return [
-        int.from_bytes(data[row * stride : (row + 1) * stride], "little")
-        for row in range(packed.shape[0])
-    ]
 
 
 #: Sets per draw chunk in :func:`bernoulli_masks`: bounds the transient float
@@ -64,7 +49,7 @@ def bernoulli_masks(
         draws = rng.random_array(count)
         if draws is not None:
             masks.extend(
-                _pack_bool_rows((draws < probability).reshape(rows, universe_size))
+                masks_from_bool_rows((draws < probability).reshape(rows, universe_size))
             )
             continue
         batch = rng.random_batch(count)

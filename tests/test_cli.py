@@ -30,6 +30,19 @@ class TestResolution:
     def test_descriptions_cover_registry(self):
         assert set(EXPERIMENT_DESCRIPTIONS) == set(EXPERIMENT_REGISTRY)
 
+    def test_scenario_names_resolve(self):
+        ids = resolve_experiment_ids(["WL"], allow_scenarios=True)
+        assert ids == ["WL"]
+
+    def test_tag_expands_to_grid(self):
+        ids = resolve_experiment_ids(["adversarial"], allow_scenarios=True)
+        assert len(ids) == 48
+        assert all(name.startswith("ADV[") for name in ids)
+
+    def test_tag_expansion_needs_scenario_mode(self):
+        with pytest.raises(SystemExit):
+            resolve_experiment_ids(["adversarial"], allow_scenarios=False)
+
 
 class TestParser:
     def test_list_command(self):

@@ -1,0 +1,123 @@
+"""Unit tests for the workload sweep runner and its scenario registration."""
+
+import pytest
+
+from repro.experiments.runners import RUNNER_DESCRIPTIONS, RUNNER_REGISTRY
+from repro.experiments.workload_defs import (
+    ALGORITHM_KINDS,
+    WORKLOAD_KINDS,
+    run_workload_sweep,
+)
+from repro.runtime.scenarios import SCENARIO_REGISTRY, get_scenario, iter_scenarios
+from repro.runtime.tasks import execute_task, tasks_from_scenario
+
+
+class TestRunnerRegistry:
+    def test_workload_runner_registered(self):
+        assert "WL" in RUNNER_REGISTRY
+        assert RUNNER_REGISTRY["WL"] is run_workload_sweep
+        assert "WL" in RUNNER_DESCRIPTIONS
+
+    def test_experiments_still_present(self):
+        for experiment_id in (f"E{i}" for i in range(1, 13)):
+            assert experiment_id in RUNNER_REGISTRY
+
+
+class TestRunWorkloadSweep:
+    @pytest.mark.parametrize("workload", WORKLOAD_KINDS)
+    def test_every_workload_kind_runs(self, workload):
+        result = run_workload_sweep(
+            workload=workload, algorithm="saha_getoor", seed=5
+        )
+        assert result.experiment_id == "WL"
+        assert result.findings["workload"] == workload
+        assert result.findings["peak_space_words"] >= 0
+
+    @pytest.mark.parametrize("algorithm", ALGORITHM_KINDS)
+    def test_every_algorithm_runs_on_dsc(self, algorithm):
+        result = run_workload_sweep(workload="dsc", algorithm=algorithm, seed=7)
+        assert result.findings["algorithm"] == algorithm
+        # Hard instances always report their space accounting.
+        assert "peak_space_words" in result.findings
+        assert "stored_incidences_peak" in result.findings
+
+    def test_random_order_differs_from_adversarial_stream(self):
+        adversarial = run_workload_sweep(
+            workload="random", algorithm="saha_getoor", order="adversarial", seed=3
+        )
+        shuffled = run_workload_sweep(
+            workload="random", algorithm="saha_getoor", order="random", seed=3
+        )
+        assert adversarial.findings["order"] == "adversarial"
+        assert shuffled.findings["order"] == "random"
+
+    def test_deterministic_given_seed(self):
+        first = run_workload_sweep(workload="dsc", algorithm="algorithm1", seed=11)
+        second = run_workload_sweep(workload="dsc", algorithm="algorithm1", seed=11)
+        assert first.findings == second.findings
+
+    def test_space_budget_overrun_reported_not_raised(self):
+        result = run_workload_sweep(
+            workload="random",
+            algorithm="store_everything",
+            space_budget=1,
+            seed=13,
+        )
+        assert result.findings["budget_exceeded"] is True
+        assert result.findings["solution_size"] is None
+
+    def test_space_budget_within_bound(self):
+        result = run_workload_sweep(
+            workload="random",
+            algorithm="saha_getoor",
+            space_budget=10 ** 9,
+            seed=13,
+        )
+        assert result.findings["budget_exceeded"] is False
+        assert result.findings["space_budget"] == 10 ** 9
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            run_workload_sweep(workload="nope")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            run_workload_sweep(algorithm="nope")
+
+
+class TestAdversarialGrid:
+    def test_grid_covers_the_full_cartesian_product(self):
+        specs = [spec for spec in iter_scenarios(tag="adversarial")]
+        assert len(specs) == len(WORKLOAD_KINDS) * 2 * len(ALGORITHM_KINDS)
+        combos = {
+            (
+                dict(spec.params)["workload"],
+                dict(spec.params)["order"],
+                dict(spec.params)["algorithm"],
+            )
+            for spec in specs
+        }
+        assert len(combos) == len(specs)
+        for spec in specs:
+            assert spec.runner == "WL"
+            assert "workload" in spec.tags
+
+    def test_default_wl_scenario_registered(self):
+        spec = get_scenario("WL")
+        assert spec.runner == "WL"
+        assert spec.seed is not None
+
+    def test_grid_cell_executes_as_task(self):
+        name = "ADV[algorithm=saha_getoor,order=random,workload=dsc]"
+        assert name in SCENARIO_REGISTRY
+        tasks = tasks_from_scenario(SCENARIO_REGISTRY[name])
+        assert len(tasks) == 1
+        payload = execute_task(tasks[0])
+        assert payload["experiment_id"] == "WL"
+        assert payload["findings"]["workload"] == "dsc"
+        assert payload["findings"]["order"] == "random"
+        assert payload["findings"]["peak_space_words"] >= 0
+
+    def test_paper_tag_unchanged(self):
+        names = [spec.name for spec in iter_scenarios(tag="paper")]
+        assert names == [f"E{i}" for i in range(1, 13)]

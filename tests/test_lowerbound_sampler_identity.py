@@ -1,0 +1,164 @@
+"""Bit-identity of the batched sampler stack against the per-draw loop path.
+
+The lower-bound samplers draw all randomness as floats through
+``random_batch`` / ``random_array`` (bit-identical by construction, see
+``test_utils_rng``) and then transform them either vectorized (NumPy) or
+with per-draw Python loops.  These tests pin the contract that the two
+transforms agree **exactly** — instances, provenance, and post-call stream
+position — across a seed × parameter grid.  They run meaningfully under
+both kernel-backend CI legs and under ``REPRO_SAMPLER_BATCH=off`` (where
+both sides take the loop path and the identity is trivial but the grid
+still exercises the samplers).
+"""
+
+import pytest
+
+from repro.lowerbound.dmc import DMCParameters, sample_dmc
+from repro.lowerbound.dsc import DSCParameters, sample_dsc, sample_dsc_random_partition
+from repro.lowerbound.mapping_extension import random_mapping_extension
+from repro.problems.disjointness import (
+    sample_ddisj,
+    sample_ddisj_no,
+    sample_ddisj_no_bulk,
+    sample_ddisj_yes,
+)
+from repro.problems.ghd import sample_dghd_no, sample_dghd_yes
+from repro.utils.rng import RandomSource, spawn_rng
+
+
+@pytest.fixture
+def loop_path(monkeypatch):
+    """Force the per-draw loop transforms for one sampling call."""
+
+    def sampler(func, *args, **kwargs):
+        monkeypatch.setenv("REPRO_SAMPLER_BATCH", "off")
+        try:
+            return func(*args, **kwargs)
+        finally:
+            monkeypatch.delenv("REPRO_SAMPLER_BATCH", raising=False)
+
+    return sampler
+
+
+def dsc_fingerprint(instance):
+    return (
+        instance.theta,
+        instance.special_index,
+        tuple(instance.alice_sets),
+        tuple(instance.bob_sets),
+        tuple(instance.disjointness),
+        tuple(instance.mappings),
+    )
+
+
+DSC_GRID = [
+    dict(universe_size=48, num_pairs=2, alpha=1, t=1),
+    dict(universe_size=64, num_pairs=3, alpha=2, t=4),
+    dict(universe_size=257, num_pairs=5, alpha=2, t=7),
+    dict(universe_size=300, num_pairs=4, alpha=2, t=24),
+    dict(universe_size=900, num_pairs=8, alpha=3, t=5),
+    # Above the random_array batching threshold (m·(t+1+n) >= 8192): the
+    # only grid entries that exercise the vectorized chunk path rather than
+    # the small-batch loop fallback.
+    dict(universe_size=2048, num_pairs=8, alpha=2, t=8),
+    dict(universe_size=2048, num_pairs=8, alpha=2, t=30),
+]
+
+SEEDS = (0, 1, 42, 2021)
+
+
+class TestDSCIdentity:
+    @pytest.mark.parametrize("config", DSC_GRID)
+    def test_batched_equals_loop_over_seed_grid(self, config, loop_path):
+        parameters = DSCParameters(**config)
+        for seed in SEEDS:
+            for theta in (None, 0, 1):
+                batched = sample_dsc(parameters, seed=seed, theta=theta)
+                looped = loop_path(sample_dsc, parameters, seed=seed, theta=theta)
+                assert dsc_fingerprint(batched) == dsc_fingerprint(looped)
+                assert batched == looped
+
+    def test_stream_position_identical_after_sampling(self, loop_path):
+        parameters = DSCParameters(universe_size=128, num_pairs=4, alpha=2, t=6)
+        rng_a = RandomSource(7)
+        sample_dsc(parameters, seed=rng_a, theta=1)
+        rng_b = RandomSource(7)
+        loop_path(sample_dsc, parameters, seed=rng_b, theta=1)
+        assert rng_a.random() == rng_b.random()
+
+    def test_random_partition_identity(self, loop_path):
+        parameters = DSCParameters(universe_size=96, num_pairs=5, alpha=2)
+        for seed in SEEDS:
+            batched = sample_dsc_random_partition(parameters, seed=seed)
+            looped = loop_path(sample_dsc_random_partition, parameters, seed=seed)
+            assert batched[0] == looped[0]
+            assert batched[3] == looped[3]
+
+    def test_lazy_mappings_match_eager_extension(self):
+        # A materialised lazy mapping is a full MappingExtension whose blocks
+        # partition the universe.
+        parameters = DSCParameters(universe_size=120, num_pairs=3, alpha=2, t=8)
+        instance = sample_dsc(parameters, seed=11, theta=0)
+        for mapping in instance.mappings:
+            assert mapping.t == 8
+            covered = set()
+            for block in mapping.blocks:
+                assert not covered & block
+                covered |= block
+            assert covered == set(range(120))
+
+
+class TestDMCIdentity:
+    # epsilon=0.1 puts the GHD attempt blocks (64 x 2·t1 floats) above the
+    # batching threshold, exercising the vectorized gadget path.
+    @pytest.mark.parametrize("epsilon", [0.35, 0.2, 0.15, 0.1])
+    def test_batched_equals_loop_over_seed_grid(self, epsilon, loop_path):
+        parameters = DMCParameters(num_pairs=4, epsilon=epsilon)
+        for seed in SEEDS:
+            for theta in (None, 0, 1):
+                batched = sample_dmc(parameters, seed=seed, theta=theta)
+                looped = loop_path(sample_dmc, parameters, seed=seed, theta=theta)
+                assert batched == looped
+
+    def test_ghd_gadgets_identical(self, loop_path):
+        for seed in SEEDS:
+            assert sample_dghd_no(40, seed=seed) == loop_path(
+                sample_dghd_no, 40, seed=seed
+            )
+            assert sample_dghd_yes(40, seed=seed) == loop_path(
+                sample_dghd_yes, 40, seed=seed
+            )
+
+
+class TestDisjointnessIdentity:
+    # t=2000 puts the bulk draw (7·(t+1) floats) above the batching
+    # threshold, exercising the vectorized bulk path.
+    @pytest.mark.parametrize("t", [1, 5, 64, 500, 2000])
+    def test_bulk_equals_sequential_and_loop(self, t, loop_path):
+        for seed in (0, 3, 17):
+            bulk = sample_ddisj_no_bulk(t, 7, seed=seed)
+            rng = spawn_rng(seed)
+            sequential = [sample_ddisj_no(t, seed=rng) for _ in range(7)]
+            assert bulk == sequential
+
+            def run_loop():
+                loop_rng = spawn_rng(seed)
+                return [sample_ddisj_no(t, seed=loop_rng) for _ in range(7)]
+
+            assert bulk == loop_path(run_loop)
+
+    def test_single_samplers_identical(self, loop_path):
+        for seed in SEEDS:
+            assert sample_ddisj(80, seed=seed) == loop_path(sample_ddisj, 80, seed=seed)
+            assert sample_ddisj_yes(80, seed=seed) == loop_path(
+                sample_ddisj_yes, 80, seed=seed
+            )
+
+
+class TestMappingExtensionIdentity:
+    def test_random_mapping_extension_identical(self, loop_path):
+        for seed in SEEDS:
+            for n, t in ((60, 4), (100, 7), (256, 16)):
+                assert random_mapping_extension(n, t, seed=seed) == loop_path(
+                    random_mapping_extension, n, t, seed=seed
+                )

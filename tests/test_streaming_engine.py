@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.exceptions import PassBudgetExceededError
+from repro.exceptions import PassBudgetExceededError, SpaceBudgetExceededError
 from repro.baselines.saha_getoor import SahaGetoorGreedy
 from repro.baselines.full_storage import StoreEverythingSetCover
+from repro.streaming.algorithm_base import StreamingAlgorithm
 from repro.streaming.engine import EngineConfig, MultiPassEngine, run_streaming_algorithm
 from repro.streaming.stream import StreamOrder
 
@@ -58,6 +59,94 @@ class TestEngineRuns:
             seed=4,
         )
         assert result_a.solution == result_b.solution
+
+
+class TestEmptySolutionVerification:
+    def test_empty_cover_of_nonempty_universe_raises(self, tiny_system):
+        """Regression: an empty solution must be verified like any other.
+
+        The engine used to skip verification whenever ``result.solution`` was
+        falsy, letting a broken algorithm report an unverified "cover" of
+        size 0.
+        """
+
+        class EmptyAlgorithm(SahaGetoorGreedy):
+            def run(self, stream):
+                result = super().run(stream)
+                result.solution = []
+                return result
+
+        with pytest.raises(ValueError, match="does not cover"):
+            run_streaming_algorithm(EmptyAlgorithm(), tiny_system)
+
+    def test_empty_cover_of_empty_universe_passes(self):
+        from repro.setcover.instance import SetSystem
+
+        class NoopAlgorithm(StreamingAlgorithm):
+            def run(self, stream):
+                for _ in stream.iterate_pass():
+                    pass
+                return self._finalize(stream, [])
+
+        result = run_streaming_algorithm(NoopAlgorithm(), SetSystem(0, [[], []]))
+        assert result.solution == []
+
+
+class TestSpaceBudget:
+    def test_space_budget_enforced(self, planted_instance):
+        with pytest.raises(SpaceBudgetExceededError):
+            run_streaming_algorithm(
+                StoreEverythingSetCover(),
+                planted_instance.system,
+                space_budget=1,
+            )
+
+    def test_space_budget_allows_runs_within_bound(self, planted_instance):
+        unbudgeted = run_streaming_algorithm(
+            StoreEverythingSetCover(), planted_instance.system
+        )
+        budget = unbudgeted.space.peak_words
+        result = run_streaming_algorithm(
+            StoreEverythingSetCover(), planted_instance.system, space_budget=budget
+        )
+        assert result.solution == unbudgeted.solution
+        # The budgeted meter's report is surfaced on the result.
+        assert result.space.peak_words == budget
+
+    def test_budgeted_run_does_not_leak_budget_into_next_run(self, planted_instance):
+        """Regression: a stale engine-armed meter must not outlive its run."""
+        algorithm = StoreEverythingSetCover()
+        with pytest.raises(SpaceBudgetExceededError):
+            run_streaming_algorithm(
+                algorithm, planted_instance.system, space_budget=1
+            )
+        # The same instance run WITHOUT a budget must succeed (previously the
+        # stale budgeted meter, charges included, raised again).
+        result = run_streaming_algorithm(algorithm, planted_instance.system)
+        assert result.solution
+
+    def test_constructor_budget_preserved_without_engine_budget(self, planted_instance):
+        algorithm = StoreEverythingSetCover(space_budget=1)
+        with pytest.raises(SpaceBudgetExceededError):
+            run_streaming_algorithm(algorithm, planted_instance.system)
+
+    def test_constructor_budget_survives_engine_budgeted_runs(self, planted_instance):
+        """A constructor budget comes back into force once the engine's lapses."""
+        algorithm = StoreEverythingSetCover(space_budget=1)
+        # Two engine-budgeted runs in a row (the displaced meter chains).
+        run_streaming_algorithm(algorithm, planted_instance.system, space_budget=10 ** 9)
+        run_streaming_algorithm(algorithm, planted_instance.system, space_budget=10 ** 9)
+        with pytest.raises(SpaceBudgetExceededError):
+            run_streaming_algorithm(algorithm, planted_instance.system)
+
+    def test_space_budget_arms_fresh_meter_per_run(self, planted_instance):
+        algorithm = StoreEverythingSetCover()
+        engine = MultiPassEngine(EngineConfig(space_budget=10 ** 9))
+        first = engine.run(algorithm, planted_instance.system)
+        second = engine.run(algorithm, planted_instance.system)
+        # A fresh meter per run: peaks do not accumulate across runs.
+        assert first.space.peak_words == second.space.peak_words
+        assert algorithm.space.budget == 10 ** 9
 
 
 class TestEngineConfig:

@@ -70,6 +70,34 @@ class TestBudget:
         else:  # pragma: no cover
             pytest.fail("expected SpaceBudgetExceededError")
 
+    def test_charge_exactly_to_budget_allowed(self):
+        meter = SpaceMeter(budget=10)
+        meter.charge("incidences", 10)
+        assert meter.current_words == 10
+        assert meter.peak_words == 10
+
+    def test_one_word_over_budget_raises(self):
+        meter = SpaceMeter(budget=10)
+        meter.charge("incidences", 10)
+        with pytest.raises(SpaceBudgetExceededError):
+            meter.charge("solution", 1)
+
+    def test_budget_edge_across_categories(self):
+        meter = SpaceMeter(budget=10)
+        meter.charge("a", 6)
+        meter.charge("b", 4)  # exactly at budget, split across categories
+        meter.release("a", 1)
+        meter.charge("b", 1)  # back to exactly the budget
+        assert meter.current_words == 10
+        with pytest.raises(SpaceBudgetExceededError):
+            meter.set_usage("a", 6)
+
+    def test_zero_budget_allows_only_zero_usage(self):
+        meter = SpaceMeter(budget=0)
+        meter.set_usage("counters", 0)
+        with pytest.raises(SpaceBudgetExceededError):
+            meter.charge("counters", 1)
+
     def test_negative_budget_rejected(self):
         with pytest.raises(ValueError):
             SpaceMeter(budget=-1)

@@ -96,15 +96,18 @@ class TestHelpers:
         import pytest
 
         pytest.importorskip("numpy")
+        from repro.utils.rng import _BATCH_NUMPY_MIN
+
+        count = _BATCH_NUMPY_MIN + 100
         source = RandomSource(33)
-        reference = [source.random() for _ in range(400)]
+        reference = [source.random() for _ in range(count)]
         rng = RandomSource(33)
-        draws = rng.random_array(400)
+        draws = rng.random_array(count)
         assert draws is not None
         assert draws.tolist() == reference
-        # The stream advanced exactly 400 draws.
+        # The stream advanced exactly `count` draws.
         probe = RandomSource(33)
-        for _ in range(400):
+        for _ in range(count):
             probe.random()
         assert rng.random() == probe.random()
 

@@ -35,6 +35,79 @@ class TestRoundTrip:
         assert rebuilt.metadata == {}
 
 
+class TestMetadataRoundTrip:
+    def test_full_metadata_preserved(self):
+        """Regression: every metadata entry round-trips, not just ``kind``."""
+        system = SetSystem(6, [[0, 1, 2], [2, 3, 4], [4, 5]])
+        instance = SetCoverInstance(
+            system,
+            planted_opt=3,
+            metadata={
+                "kind": "dsc",
+                "theta": 1,
+                "alpha": 2,
+                "t": 5,
+                "special_index": None,
+                "rate": 0.25,
+                "patched": True,
+                "note": "hard instance",
+            },
+        )
+        rebuilt = loads_instance(dumps_instance(instance))
+        assert rebuilt.metadata == instance.metadata
+        assert rebuilt.planted_opt == 3
+
+    def test_dsc_stream_instance_round_trips(self):
+        from repro.workloads.adversarial import dsc_stream_instance
+
+        instance = dsc_stream_instance(48, 3, 2, theta=1, seed=9)
+        rebuilt = loads_instance(dumps_instance(instance))
+        assert rebuilt.system == instance.system
+        assert rebuilt.metadata == instance.metadata
+        assert rebuilt.planted_opt == instance.planted_opt
+
+    def test_empty_sets_with_full_metadata(self):
+        system = SetSystem(4, [[0, 1, 2, 3], [], []])
+        instance = SetCoverInstance(system, metadata={"kind": "edge", "level": 7})
+        rebuilt = loads_instance(dumps_instance(instance))
+        assert rebuilt.system == system
+        assert rebuilt.metadata == {"kind": "edge", "level": 7}
+
+    def test_metadata_without_kind(self):
+        system = SetSystem(2, [[0], [1]])
+        instance = SetCoverInstance(system, metadata={"alpha": 3})
+        rebuilt = loads_instance(dumps_instance(instance))
+        assert rebuilt.metadata == {"alpha": 3}
+
+    def test_file_round_trip_with_metadata(self, tmp_path):
+        from repro.workloads.adversarial import dmc_stream_instance
+
+        instance = dmc_stream_instance(2, 0.35, seed=4)
+        path = save_instance(instance, tmp_path / "dmc.txt")
+        rebuilt = load_instance(path)
+        assert rebuilt.system == instance.system
+        assert rebuilt.metadata == instance.metadata
+
+    def test_malformed_meta_line_rejected(self):
+        with pytest.raises(ValueError):
+            loads_instance("# meta broken-line-without-colon\n2 1\n0 1\n")
+
+    def test_unserialisable_metadata_key_rejected_at_dump(self):
+        system = SetSystem(2, [[0], [1]])
+        for bad_key in ("source:file", "two\nlines", ""):
+            instance = SetCoverInstance(system, metadata={bad_key: "x"})
+            with pytest.raises(ValueError, match="cannot be serialised"):
+                dumps_instance(instance)
+
+    def test_non_round_trippable_metadata_value_rejected_at_dump(self):
+        system = SetSystem(2, [[0], [1]])
+        # A tuple would silently come back as a list; a set is not JSON at all.
+        for bad_value in ((2, 3), {1, 2}):
+            instance = SetCoverInstance(system, metadata={"shape": bad_value})
+            with pytest.raises(ValueError, match="metadata value"):
+                dumps_instance(instance)
+
+
 class TestParsingErrors:
     def test_missing_data(self):
         with pytest.raises(ValueError):
