@@ -1,0 +1,77 @@
+"""Execute the tutorial's ``bash`` blocks verbatim — the docs CI smoke test.
+
+Extracts every fenced ```bash block from ``docs/tutorial.md`` and runs each
+non-comment line as a shell command in a scratch directory (so relative
+store/report paths like ``out/`` stay contained), with ``PYTHONPATH``
+pointing at this checkout's ``src``.  Any non-zero exit fails the run, which
+means the tutorial cannot drift from the CLI it documents.
+
+Usage::
+
+    PYTHONPATH=src python docs/smoke_tutorial.py [--tutorial PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TUTORIAL = Path(__file__).resolve().parent / "tutorial.md"
+
+_FENCE = re.compile(r"^```bash\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def extract_commands(markdown: str) -> List[str]:
+    """Every runnable command line from the ```bash fences, in order."""
+    commands: List[str] = []
+    for block in _FENCE.findall(markdown):
+        for line in block.strip().splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                commands.append(line)
+    return commands
+
+
+def run_commands(commands: List[str], cwd: Path) -> int:
+    """Run each command via the shell; returns the first failing exit code."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for command in commands:
+        print(f"$ {command}", flush=True)
+        completed = subprocess.run(command, shell=True, cwd=cwd, env=env)
+        if completed.returncode != 0:
+            print(
+                f"tutorial command failed with exit code {completed.returncode}",
+                file=sys.stderr,
+            )
+            return completed.returncode
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tutorial", type=Path, default=TUTORIAL)
+    args = parser.parse_args(argv)
+    commands = extract_commands(args.tutorial.read_text(encoding="utf-8"))
+    if not commands:
+        print(f"no bash blocks found in {args.tutorial}", file=sys.stderr)
+        return 1
+    print(f"smoke-running {len(commands)} tutorial command(s) from {args.tutorial}")
+    with tempfile.TemporaryDirectory(prefix="repro-tutorial-") as scratch:
+        code = run_commands(commands, cwd=Path(scratch))
+    if code == 0:
+        print("tutorial smoke run: OK")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

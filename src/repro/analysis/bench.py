@@ -1,0 +1,114 @@
+"""Benchmark-trajectory loading: the committed ``BENCH_*.json`` baselines.
+
+Each perf PR commits a ``BENCH_<area>.json`` baseline (kernels, streaming,
+lower-bound samplers) whose grid entries carry measured speedups against the
+frozen seed lineage.  This module parses the three known schemas into a
+uniform :class:`BenchTrajectory` — a labelled series of speedups — so the
+report can chart the perf trajectory next to the tradeoff results without
+re-running any benchmark.
+
+Unknown files and unknown schemas are skipped silently: the report must
+render from any checkout, including one where a future PR renamed a
+baseline.
+
+Example — parse a minimal kernels baseline from a dict::
+
+    >>> payload = {"schema": "bench_kernels/v1", "grid": [
+    ...     {"n": 256, "m": 512, "greedy": {"speedup_numpy": 4.9}}]}
+    >>> trajectory = _trajectory_from_payload("BENCH_kernels.json", payload)
+    >>> [(entry.label, entry.speedup) for entry in trajectory.entries]
+    [('256x512', 4.9)]
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Mapping, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One grid point of a benchmark baseline: a label and its speedup."""
+
+    label: str
+    speedup: float
+
+
+@dataclass(frozen=True)
+class BenchTrajectory:
+    """One ``BENCH_*.json`` file reduced to a labelled speedup series."""
+
+    name: str
+    schema: str
+    entries: List[BenchEntry]
+
+    @property
+    def best(self) -> float:
+        return max(entry.speedup for entry in self.entries)
+
+
+def _speedup(cell: Mapping[str, Any], *keys: str) -> Optional[float]:
+    for key in keys:
+        value = cell.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+    return None
+
+
+def _trajectory_from_payload(
+    filename: str, payload: Mapping[str, Any]
+) -> Optional[BenchTrajectory]:
+    """Reduce one parsed baseline to a trajectory (``None`` when unknown)."""
+    schema = str(payload.get("schema", ""))
+    grid = payload.get("grid")
+    if not isinstance(grid, list):
+        return None
+    entries: List[BenchEntry] = []
+    for cell in grid:
+        if not isinstance(cell, Mapping):
+            continue
+        if schema.startswith("bench_kernels/"):
+            label = f"{cell.get('n')}x{cell.get('m')}"
+            speedup = _speedup(
+                cell.get("greedy", {}), "speedup_numpy", "speedup_python"
+            )
+        elif schema.startswith("bench_streaming/"):
+            label = f"{cell.get('n')}x{cell.get('m')}"
+            speedup = _speedup(
+                cell.get("e11_sweep", {}), "speedup_numpy", "speedup_python"
+            )
+        elif schema.startswith("bench_lowerbound/"):
+            label = str(cell.get("kind", "?"))
+            if cell.get("t") is not None:
+                label = f"{label} t={cell['t']}"
+            speedup = _speedup(cell, "speedup_batched")
+        else:
+            return None
+        if speedup is not None:
+            entries.append(BenchEntry(label=label, speedup=speedup))
+    if not entries:
+        return None
+    name = Path(filename).stem
+    if name.startswith("BENCH_"):
+        name = name[len("BENCH_") :]
+    return BenchTrajectory(name=name, schema=schema, entries=entries)
+
+
+def load_bench_trajectories(root: PathLike = ".") -> List[BenchTrajectory]:
+    """Parse every readable ``BENCH_*.json`` directly under ``root``."""
+    trajectories: List[BenchTrajectory] = []
+    for path in sorted(Path(root).glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, Mapping):
+            continue
+        trajectory = _trajectory_from_payload(path.name, payload)
+        if trajectory is not None:
+            trajectories.append(trajectory)
+    return trajectories

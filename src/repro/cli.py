@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run E1 E5 --workers 4 --store /tmp/rstore
     python -m repro.cli run adversarial --workers 4 --store /tmp/rstore
     python -m repro.cli scenarios --tag adversarial
+    python -m repro.cli report /tmp/rstore --html report/
 
 The CLI is a thin wrapper over :mod:`repro.experiments` and
 :mod:`repro.runtime`: it resolves experiment/scenario ids, runs them — in
@@ -26,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Callable, List, Optional, Sequence
 
 from repro.experiments.experiment_defs import (
@@ -102,6 +104,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios_parser.add_argument(
         "--tag", type=str, default=None, help="only list scenarios with this tag"
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="render a tradeoff report from a result-store directory"
+    )
+    report_parser.add_argument(
+        "store", help="result-store directory previously filled by 'run --store'"
+    )
+    report_parser.add_argument(
+        "--grid",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario grid / tag / name whose coverage to check (repeatable; "
+        "default: auto-detect grids from the stored task keys)",
+    )
+    report_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed override the store was filled with (mirrors 'run --seed')",
+    )
+    report_parser.add_argument(
+        "--html", type=str, default=None, metavar="DIR",
+        help="write a self-contained HTML report to DIR/index.html",
+    )
+    report_parser.add_argument(
+        "--markdown", type=str, default=None, metavar="FILE",
+        help="write the markdown report to FILE",
+    )
+    report_parser.add_argument(
+        "--bench-dir", type=str, default=".",
+        help="directory holding the committed BENCH_*.json baselines "
+        "(default: current directory; missing files are fine)",
+    )
+    report_parser.add_argument(
+        "--title", type=str, default="Streaming set cover — tradeoff report"
+    )
+    report_parser.add_argument(
+        "--quiet", action="store_true",
+        help="print only the summary line, not the whole markdown report",
     )
     return parser
 
@@ -231,10 +274,47 @@ def _scenarios_command(name: Optional[str], tag: Optional[str]) -> int:
     return 0
 
 
+def _report_command(args: argparse.Namespace) -> int:
+    """Implement the ``report`` subcommand: store directory → rendered report.
+
+    Shares ``run``'s cache semantics in the read direction: the report is a
+    pure function of the store contents (plus the committed benchmark
+    baselines), missing grid cells render as explicit markers instead of
+    failing, and re-running after a resumed ``run`` just fills the gaps in.
+    """
+    from repro.analysis import build_report, load_bench_trajectories, load_store, write_report
+    from repro.analysis.render import render_markdown
+
+    try:
+        analysis = load_store(args.store, grids=args.grid, seed_override=args.seed)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+    bench = load_bench_trajectories(args.bench_dir)
+    figures_dir = Path(args.html) / "figures" if args.html else None
+    doc = build_report(
+        analysis, bench=bench, title=args.title, figures_dir=figures_dir
+    )
+    written = write_report(doc, html_dir=args.html, markdown_path=args.markdown)
+    if not args.quiet:
+        print(render_markdown(doc))
+    summary = (
+        f"report: {len(analysis.records)} cell(s), {len(analysis.missing)} missing"
+    )
+    if analysis.unreadable:
+        summary += f", {len(analysis.unreadable)} unreadable"
+    print(summary)
+    for kind, path in sorted(written.items()):
+        print(f"wrote {kind}: {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "report":
+        return _report_command(args)
 
     if args.command == "list":
         for experiment_id in sorted(EXPERIMENT_REGISTRY, key=lambda eid: int(eid[1:])):

@@ -3,7 +3,14 @@
 The CLI (:mod:`repro.cli`) and downstream notebooks need experiment results
 in machine-readable form; this module converts :class:`ExperimentResult`
 objects to/from plain dictionaries, writes JSON files, and renders a combined
-markdown report mirroring the EXPERIMENTS.md structure.
+markdown report (one ``## <id> — <title>`` section per experiment).
+
+Markdown rendering delegates to :mod:`repro.analysis.render` — the
+tradeoff-analysis subsystem owns all report generation; this module keeps
+only the (de)serialisation primitives the runtime store is built on, plus
+thin wrappers preserving the legacy entry points.  For full paper-style
+tradeoff reports over a result-store directory, use ``repro report`` /
+:func:`repro.analysis.render.build_report` instead.
 """
 
 from __future__ import annotations
@@ -80,24 +87,14 @@ def load_results_json(path: PathLike) -> List[ExperimentResult]:
 def render_markdown_report(
     results: Iterable[ExperimentResult], title: Optional[str] = None
 ) -> str:
-    """Render results as a markdown report (one section per experiment)."""
-    lines: List[str] = []
-    if title:
-        lines.append(f"# {title}")
-        lines.append("")
-    for result in results:
-        lines.append(f"## {result.experiment_id} — {result.title}")
-        lines.append("")
-        lines.append("```")
-        lines.append(result.table.render())
-        lines.append("```")
-        if result.findings:
-            lines.append("")
-            lines.append("Findings:")
-            for key in sorted(result.findings):
-                lines.append(f"* `{key}` = {result.findings[key]}")
-        lines.append("")
-    return "\n".join(lines)
+    """Render results as a markdown report (one section per experiment).
+
+    Delegates to :func:`repro.analysis.render.experiment_results_markdown`;
+    the section format is stable because downstream notebooks parse it.
+    """
+    from repro.analysis.render import experiment_results_markdown
+
+    return experiment_results_markdown(list(results), title=title)
 
 
 def save_markdown_report(

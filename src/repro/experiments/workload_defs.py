@@ -238,11 +238,18 @@ def run_workload_sweep(
         "workload": workload,
         "algorithm": algorithm,
         "order": stream_order.value,
+        "n": system.universe_size,
+        "m": system.num_sets,
         "opt_guess": opt_guess,
         "solution_size": solution_size,
         "feasible": feasible,
         "passes": passes,
+        # The full SpaceReport, surfaced per row so downstream analysis
+        # (repro.analysis) never re-parses the rendered table.
         "peak_space_words": space.peak_words,
+        "final_space_words": space.final_words,
+        "dominant_category": space.dominant_category(),
+        "peak_by_category": dict(space.peak_by_category),
         "stored_incidences_peak": space.peak_by_category.get("stored_incidences", 0),
         "space_budget": space_budget,
         "budget_exceeded": budget_exceeded,

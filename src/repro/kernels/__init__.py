@@ -25,6 +25,16 @@ Backend selection (:func:`resolve_backend`):
   benchmarking both backends on the same workload.
 
 Both backends are output-identical bit for bit; only wall-clock changes.
+
+Example — build a kernel over two masks and query a batched primitive::
+
+    >>> kernel = make_kernel(4, [0b0011, 0b1110], backend="python")
+    >>> kernel.set_sizes()
+    [2, 3]
+    >>> kernel.gains(uncovered=0b1111)
+    [2, 3]
+    >>> resolve_backend("python")
+    'python'
 """
 
 from __future__ import annotations

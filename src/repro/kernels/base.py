@@ -23,6 +23,12 @@ frequencies, same claim winners for the same inputs.  The property suites in
 ``tests/property/test_prop_kernels.py`` and
 ``tests/property/test_prop_streaming.py`` enforce this parity on random
 systems and on whole streaming runs.
+
+Example — any object with the batched primitives satisfies the protocol::
+
+    >>> from repro.kernels.pyint import PyIntKernel
+    >>> isinstance(PyIntKernel(4, [0b0011]), Kernel)
+    True
 """
 
 from __future__ import annotations

@@ -20,6 +20,14 @@ rest of the library uses); packing/unpacking is ``int.to_bytes`` /
 ``int.from_bytes`` against the explicit ``<u8`` dtype, so results are
 identical to :class:`~repro.kernels.pyint.PyIntKernel` bit for bit.
 
+Example — identical answers to the pure-Python kernel::
+
+    >>> from repro.kernels.pyint import PyIntKernel
+    >>> NumpyKernel(4, [0b0011, 0b1110]).gains(uncovered=0b1111)
+    [2, 3]
+    >>> PyIntKernel(4, [0b0011, 0b1110]).gains(uncovered=0b1111)
+    [2, 3]
+
 This module imports :mod:`numpy` at import time — go through
 :func:`repro.kernels.make_kernel`, which only loads it when NumPy is
 installed.

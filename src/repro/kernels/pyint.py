@@ -5,6 +5,14 @@ every primitive is a loop over ``m`` big-int operations.  Compared to the
 pre-kernel code paths it still avoids per-element set materialisation
 (:func:`~repro.utils.bitset.iter_bits` drives the frequency count directly)
 and skips fully-covered sets where the caller's contract allows it.
+
+Example — gains against an uncovered mask, and per-element frequencies::
+
+    >>> kernel = PyIntKernel(4, [0b0011, 0b1110])
+    >>> kernel.gains(uncovered=0b1100)
+    [0, 2]
+    >>> kernel.element_frequencies()
+    [1, 2, 1, 1]
 """
 
 from __future__ import annotations

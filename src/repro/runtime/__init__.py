@@ -17,6 +17,14 @@ engine:
   systems pickle as one contiguous incidence buffer, and
   :func:`shared_system` fans a single instance out to many tasks through
   one :mod:`multiprocessing.shared_memory` segment.
+
+Example — declare a two-repetition scenario and expand its tasks::
+
+    >>> spec = register_scenario("runtime-doc-demo", runner="WL", seed=7,
+    ...                          repetitions=2)
+    >>> [task.key for task in tasks_from_scenario(spec)]
+    ['runtime-doc-demo#r0', 'runtime-doc-demo#r1']
+    >>> unregister_scenario("runtime-doc-demo")
 """
 
 from repro.runtime.executor import (

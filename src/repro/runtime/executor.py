@@ -20,6 +20,13 @@ bytes buffer per system instead of per-set Python objects, adopted zero-copy
 by the worker's NumPy kernel.  Sweeps that fan a single instance out to many
 tasks can avoid even that per-task copy via
 :func:`repro.runtime.transport.shared_system`.
+
+Example — ordered map semantics are identical at any worker count::
+
+    >>> parallel_map(abs, [-3, -1, 2], workers=1)
+    [3, 1, 2]
+    >>> default_chunksize(pending=100, workers=4)
+    7
 """
 
 from __future__ import annotations

@@ -16,6 +16,17 @@ expands ``{dsc, dmc, random, coverage} × {adversarial, random} arrival ×
 ``adversarial`` / ``workload``), so the paper's hard instances sweep through
 the sharded executor, the result store, and the shared-memory instance
 transport like any other workload.
+
+Example — a 2×1 grid expands into one registered scenario per cell::
+
+    >>> specs = register_grid("scenario-doc-demo", runner="WL",
+    ...                       axes={"workload": ["dsc", "dmc"]}, seed=3)
+    >>> [spec.name for spec in specs]
+    ['scenario-doc-demo[workload=dsc]', 'scenario-doc-demo[workload=dmc]']
+    >>> get_scenario("scenario-doc-demo[workload=dmc]").kwargs()
+    {'workload': 'dmc'}
+    >>> for spec in specs:
+    ...     unregister_scenario(spec.name)
 """
 
 from __future__ import annotations

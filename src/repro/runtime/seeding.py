@@ -15,6 +15,17 @@ on the order streams are created or on how much randomness other streams have
 consumed.  That isolation contract is what makes a sharded parallel run
 byte-identical to the serial one: each task re-derives exactly the streams it
 needs from its own task seed.
+
+Example — streams are cached per name and independent of creation order::
+
+    >>> streams = SeedStreams(base_seed=7)
+    >>> streams.stream("instance") is streams.stream("instance")
+    True
+    >>> streams.seed_for("arrival") == stream_seed(7, "arrival")
+    True
+    >>> repetition_seed(scenario_seed(None, "E5"), 0) == repetition_seed(
+    ...     scenario_seed(None, "E5"), 0)
+    True
 """
 
 from __future__ import annotations

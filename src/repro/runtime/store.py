@@ -10,6 +10,20 @@ Invalidation is structural: changing any input changes the fingerprint, and
 bumping :data:`STORE_FORMAT_VERSION` (when the stored payload shape changes)
 orphans every old entry.  Corrupt or mismatched entries read as misses and
 are overwritten by the recomputed result.
+
+Example — miss, put, hit::
+
+    >>> import tempfile
+    >>> from repro.runtime.tasks import RuntimeTask
+    >>> store = ResultStore(tempfile.mkdtemp())
+    >>> task = RuntimeTask(key="demo", runner="WL", seed=1)
+    >>> store.get(task) is None
+    True
+    >>> _ = store.put(task, {"answer": 42})
+    >>> store.get(task)
+    {'answer': 42}
+    >>> (store.hits, store.misses)
+    (1, 1)
 """
 
 from __future__ import annotations

@@ -5,6 +5,15 @@ invocation — scenario repetition, parameter overrides, resolved seed.  Tasks
 reference their experiment by registry *name* so a worker process can
 re-resolve the callable after ``fork``/``spawn``; :func:`execute_task` is the
 module-level entry point the process pool maps over.
+
+Example — a task is its runner name plus frozen kwargs and a seed::
+
+    >>> task = RuntimeTask(key="WL", runner="WL",
+    ...                    params=(("workload", "dsc"),), seed=3)
+    >>> task.kwargs()
+    {'workload': 'dsc', 'seed': 3}
+    >>> task.fingerprint_payload()["runner"]
+    'WL'
 """
 
 from __future__ import annotations

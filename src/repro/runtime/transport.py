@@ -21,6 +21,14 @@ The handle is an ordinary picklable value: put it in the per-task settings of
 a :class:`~repro.experiments.harness.SweepRunner` sweep (or any
 :func:`~repro.runtime.executor.parallel_map` item) and call
 :meth:`SharedSystemHandle.load` inside the worker.
+
+Example — publish once, rebuild from the handle, clean up on exit::
+
+    >>> from repro.setcover.instance import SetSystem
+    >>> system = SetSystem(4, [{0, 1}, {2, 3}])
+    >>> with shared_system(system) as handle:
+    ...     handle.load().num_sets
+    2
 """
 
 from __future__ import annotations

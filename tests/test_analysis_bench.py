@@ -1,0 +1,79 @@
+"""Benchmark-baseline parsing tests (the committed BENCH_*.json schemas)."""
+
+import json
+
+from repro.analysis.bench import (
+    BenchTrajectory,
+    _trajectory_from_payload,
+    load_bench_trajectories,
+)
+
+KERNELS = {
+    "schema": "bench_kernels/v1",
+    "grid": [
+        {"n": 256, "m": 512, "greedy": {"speedup_numpy": 4.9, "speedup_python": 1.1}},
+        {"n": 512, "m": 1024, "greedy": {"speedup_python": 1.2}},
+    ],
+}
+STREAMING = {
+    "schema": "bench_streaming/v1",
+    "grid": [{"n": 512, "m": 1024, "e11_sweep": {"speedup_numpy": 5.4}}],
+}
+LOWERBOUND = {
+    "schema": "bench_lowerbound/v1",
+    "grid": [
+        {"kind": "dsc", "t": 1024, "speedup_batched": 6.5},
+        {"kind": "dmc", "speedup_batched": 1.6},
+    ],
+}
+
+
+class TestSchemaParsing:
+    def test_kernels_schema(self):
+        trajectory = _trajectory_from_payload("BENCH_kernels.json", KERNELS)
+        assert trajectory.name == "kernels"
+        assert [(e.label, e.speedup) for e in trajectory.entries] == [
+            ("256x512", 4.9),
+            ("512x1024", 1.2),
+        ]
+        assert trajectory.best == 4.9
+
+    def test_streaming_schema(self):
+        trajectory = _trajectory_from_payload("BENCH_streaming.json", STREAMING)
+        assert trajectory.entries[0].label == "512x1024"
+        assert trajectory.entries[0].speedup == 5.4
+
+    def test_lowerbound_schema_labels(self):
+        trajectory = _trajectory_from_payload("BENCH_lowerbound.json", LOWERBOUND)
+        assert [e.label for e in trajectory.entries] == ["dsc t=1024", "dmc"]
+
+    def test_unknown_schema_is_skipped(self):
+        assert (
+            _trajectory_from_payload(
+                "BENCH_x.json", {"schema": "bench_future/v9", "grid": [{}]}
+            )
+            is None
+        )
+
+    def test_gridless_payload_is_skipped(self):
+        assert _trajectory_from_payload("BENCH_x.json", {"schema": "bench_kernels/v1"}) is None
+
+
+class TestLoadDirectory:
+    def test_loads_and_sorts_known_files(self, tmp_path):
+        (tmp_path / "BENCH_streaming.json").write_text(json.dumps(STREAMING))
+        (tmp_path / "BENCH_kernels.json").write_text(json.dumps(KERNELS))
+        (tmp_path / "BENCH_broken.json").write_text("{nope")
+        (tmp_path / "OTHER.json").write_text(json.dumps(KERNELS))
+        trajectories = load_bench_trajectories(tmp_path)
+        assert [t.name for t in trajectories] == ["kernels", "streaming"]
+        assert all(isinstance(t, BenchTrajectory) for t in trajectories)
+
+    def test_empty_directory(self, tmp_path):
+        assert load_bench_trajectories(tmp_path) == []
+
+    def test_committed_baselines_parse(self):
+        # The repo's own committed baselines must always stay parseable.
+        trajectories = load_bench_trajectories(".")
+        assert {t.name for t in trajectories} >= {"kernels", "streaming", "lowerbound"}
+        assert all(t.best > 1.0 for t in trajectories)
