@@ -27,13 +27,13 @@ import argparse
 import json
 import platform
 import sys
-import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.exceptions import InfeasibleInstanceError
+from repro.telemetry import clock
 from repro.kernels import HAS_NUMPY, available_backends
 from repro.setcover.greedy import greedy_cover_trace
 from repro.setcover.instance import SetSystem
@@ -87,12 +87,12 @@ def seed_greedy_rescan(system: SetSystem) -> List[int]:
 
 
 def _time(func, repeats: int = 3) -> float:
-    """Best-of-N wall-clock seconds for one call of ``func``."""
+    """Best-of-N seconds for one call of ``func`` on the telemetry clock."""
     best = float("inf")
     for _ in range(repeats):
-        started = time.perf_counter()
+        started = clock()
         func()
-        best = min(best, time.perf_counter() - started)
+        best = min(best, clock() - started)
     return best
 
 

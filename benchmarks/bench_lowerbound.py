@@ -41,7 +41,6 @@ import json
 import os
 import platform
 import sys
-import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -57,6 +56,7 @@ from repro.problems.disjointness import (
     sample_ddisj_no_bulk,
 )
 from repro.problems.ghd import GHDInstance, default_set_sizes
+from repro.telemetry import clock
 from repro.utils.bitset import bitset_from_iterable, bitset_size, universe_mask
 from repro.utils.rng import RandomSource, spawn_rng
 
@@ -239,11 +239,12 @@ def loop_path():
 
 
 def _time(func: Callable[[], object], repeats: int) -> float:
+    """Best-of-N seconds for one call of ``func`` on the telemetry clock."""
     best = float("inf")
     for _ in range(repeats):
-        started = time.perf_counter()
+        started = clock()
         func()
-        best = min(best, time.perf_counter() - started)
+        best = min(best, clock() - started)
     return best
 
 

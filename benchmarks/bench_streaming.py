@@ -36,7 +36,6 @@ import json
 import os
 import platform
 import sys
-import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
@@ -59,6 +58,7 @@ from repro.kernels import HAS_NUMPY, available_backends
 from repro.setcover.instance import SetSystem
 from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
 from repro.streaming.stream import SetStream
+from repro.telemetry import clock
 from repro.utils.bitset import bitset_from_iterable, bitset_size, bitset_to_set
 from repro.utils.rng import RandomSource, SeedLike, spawn_rng
 
@@ -511,12 +511,12 @@ def sweep_algorithms(opt_guess: int):
 
 
 def _time(func: Callable[[], object], repeats: int) -> float:
-    """Best-of-N wall-clock seconds for one call of ``func``."""
+    """Best-of-N seconds for one call of ``func`` on the telemetry clock."""
     best = float("inf")
     for _ in range(repeats):
-        started = time.perf_counter()
+        started = clock()
         func()
-        best = min(best, time.perf_counter() - started)
+        best = min(best, clock() - started)
     return best
 
 

@@ -1,0 +1,134 @@
+"""Overhead gate for the telemetry subsystem (``repro.telemetry``).
+
+Telemetry promises to be invisible when off and cheap when on: every
+instrumentation point is one context-variable load when no session is
+active, and the instrumented kernel proxy only exists inside an active
+session.  This benchmark *measures* that promise instead of trusting it —
+it runs the ``BENCH_kernels.json`` greedy workload (dense random system,
+lazy greedy via the kernel layer) with telemetry off and on, and turns the
+ratio into an exit code.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py            # full instance
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py --quick    # CI smoke
+
+The ``--max-overhead X`` gate (default 1.05 — the ≤5% budget from the
+observability issue) fails the run when ``on/off > X``.  CI runs the quick
+instance with the default gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.setcover.greedy import greedy_cover_trace
+from repro.setcover.instance import SetSystem
+from repro.telemetry import measure_overhead
+
+from bench_kernels import dense_random_masks
+
+#: (n, m, seed) — the full instance matches the BENCH_kernels acceptance
+#: cell.  The quick instance is deliberately not the smallest grid entry:
+#: per-primitive proxy cost is roughly constant while kernel work grows with
+#: the instance, so a tiny instance over-states the overhead fraction a real
+#: run would see (and amplifies timing noise relative to the 5% budget).
+QUICK_INSTANCE = (1024, 2048, 1)
+FULL_INSTANCE = (2048, 4096, 1)
+
+
+def greedy_workload(n: int, m: int, seed: int, backend: str = "auto"):
+    """A zero-argument greedy-cover workload over a dense random system.
+
+    The masks are drawn once, but the :class:`SetSystem` is rebuilt inside
+    the closure: ``SetSystem.kernel`` caches its kernel, and a cached kernel
+    built before the telemetry session would bypass the instrumented proxy
+    entirely — the gate would then measure nothing.  Rebuilding per call
+    makes each timed run construct its kernel under the active mode, exactly
+    like an executor task does.
+    """
+    masks = dense_random_masks(n, m, seed)
+
+    def workload():
+        system = SetSystem.from_masks(n, masks, backend=backend)
+        return greedy_cover_trace(system)
+
+    return workload
+
+
+def run(
+    instance, repeats: int = 3, max_overhead: Optional[float] = None, echo=print
+) -> Dict[str, object]:
+    n, m, seed = instance
+    result = measure_overhead(
+        greedy_workload(n, m, seed), repeats=repeats, label="bench-overhead"
+    )
+    payload: Dict[str, object] = {
+        "schema": "bench_telemetry_overhead/v1",
+        "n": n,
+        "m": m,
+        "seed": seed,
+        "repeats": repeats,
+        **result,
+    }
+    echo(
+        f"n={n} m={m}  off={result['off_s'] * 1e3:.1f}ms  "
+        f"on={result['on_s'] * 1e3:.1f}ms  ratio={result['ratio']:.3f}"
+    )
+    if max_overhead is not None:
+        payload["max_overhead"] = max_overhead
+        payload["passed"] = result["ratio"] <= max_overhead
+    return payload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small CI instance instead of the full one"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=31,
+        help="paired off/on timing rounds, median-of-N (default 31)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=1.05,
+        help="fail when telemetry-on / telemetry-off exceeds this ratio "
+        "(default 1.05; pass 0 to disable the gate)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="optionally write the measurement as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    gate = args.max_overhead if args.max_overhead > 0 else None
+    instance = QUICK_INSTANCE if args.quick else FULL_INSTANCE
+    payload = run(instance, repeats=args.repeats, max_overhead=gate)
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+
+    if gate is not None and not payload["passed"]:
+        print(
+            f"FAIL: telemetry overhead {payload['ratio']:.3f}x "
+            f"> allowed {gate:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if gate is not None:
+        print(f"overhead gate passed: {payload['ratio']:.3f}x <= {gate:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

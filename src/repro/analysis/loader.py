@@ -43,7 +43,11 @@ from repro.runtime.scenarios import (
     iter_scenarios,
     natural_sort_key,
 )
-from repro.runtime.store import STORE_FORMAT_VERSION, task_fingerprint
+from repro.runtime.store import (
+    STORE_FORMAT_VERSION,
+    read_store_stats,
+    task_fingerprint,
+)
 from repro.runtime.tasks import tasks_from_scenario
 
 PathLike = Union[str, Path]
@@ -70,6 +74,9 @@ class StoreAnalysis:
     #: Cells the checked grids expect in total (present + missing), counted
     #: at load time against the same seed override the gap check used.
     expected_cells: int = 0
+    #: Persisted hit/miss/put/skip totals from ``store_stats.json`` at the
+    #: store root, or ``None`` when no run has flushed stats there yet.
+    store_stats: Optional[Dict[str, int]] = None
 
     @property
     def workload_records(self) -> List[AnalysisRecord]:
@@ -181,4 +188,5 @@ def load_store(
         unreadable=unreadable,
         grids=grid_names,
         expected_cells=len(expected),
+        store_stats=read_store_stats(root),
     )

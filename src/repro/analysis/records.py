@@ -87,6 +87,9 @@ class AnalysisRecord:
     # -- raw payload ------------------------------------------------------
     findings: Mapping[str, Any] = field(default_factory=dict)
     table: Mapping[str, Any] = field(default_factory=dict)
+    #: The computing run's summarized telemetry block (counters / gauges /
+    #: span summary), when the entry was written with capture on.
+    telemetry: Optional[Mapping[str, Any]] = None
 
     @property
     def is_workload(self) -> bool:
@@ -200,6 +203,7 @@ def record_from_entry(entry: Mapping[str, Any]) -> AnalysisRecord:
         instance_uncoverable=bool(findings.get("instance_uncoverable", False)),
         findings=dict(findings),
         table=dict(table),
+        telemetry=entry.get("telemetry"),
     )
 
 

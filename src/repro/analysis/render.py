@@ -231,6 +231,113 @@ def _missing_cells_blocks(analysis: StoreAnalysis) -> List[Block]:
     return blocks
 
 
+def _sum_prefixed(counters: Dict[str, Any], prefix: str) -> Optional[int]:
+    """Sum every counter under ``prefix``; ``None`` when none exist."""
+    total = 0
+    seen = False
+    for name, value in counters.items():
+        if name.startswith(prefix):
+            total += int(value)
+            seen = True
+    return total if seen else None
+
+
+def _top_span(span_summary: Dict[str, Any]) -> Optional[str]:
+    """The span name with the largest total time, formatted ``name (1.2s)``."""
+    if not span_summary:
+        return None
+    name, info = max(
+        span_summary.items(), key=lambda item: item[1].get("total_s", 0.0)
+    )
+    return f"`{name}` ({info.get('total_s', 0.0):.3g}s)"
+
+
+def _telemetry_blocks(analysis: StoreAnalysis) -> List[Block]:
+    """The ``## Telemetry`` section: store activity plus per-cell timing.
+
+    Renders nothing when the store has neither persisted stats nor any
+    entry carrying a ``telemetry`` block (a run without ``--trace`` /
+    ``REPRO_TELEMETRY``), so reports over uncaptured stores are unchanged.
+    """
+    captured = [r for r in analysis.records if r.telemetry]
+    if not captured and analysis.store_stats is None:
+        return []
+    blocks: List[Block] = [Heading(2, "Telemetry")]
+
+    if analysis.store_stats is not None:
+        stats = analysis.store_stats
+        blocks.append(
+            TableBlock(
+                headers=["hits", "misses", "puts", "skips"],
+                rows=[[stats["hits"], stats["misses"], stats["puts"], stats["skips"]]],
+                caption=(
+                    "Cumulative result-store activity persisted in "
+                    "`store_stats.json` (all runs against this store)."
+                ),
+            )
+        )
+
+    if not captured:
+        blocks.append(
+            Paragraph(
+                "No stored cell carries a telemetry block — run with "
+                "`--trace DIR` (or `REPRO_TELEMETRY=1`) to capture per-cell "
+                "timing and counters."
+            )
+        )
+        return blocks
+
+    rows: List[List[Any]] = []
+    for record in captured:
+        block = record.telemetry or {}
+        counters: Dict[str, Any] = dict(block.get("counters") or {})
+        rows.append(
+            [
+                record.key,
+                block.get("elapsed_s"),
+                _sum_prefixed(counters, "kernel.calls."),
+                _sum_prefixed(counters, "kernel.words."),
+                counters.get("rng.draws"),
+                counters.get("stream.passes"),
+                _top_span(dict(block.get("span_summary") or {})),
+            ]
+        )
+    blocks.append(
+        TableBlock(
+            headers=[
+                "cell", "elapsed (s)", "kernel calls", "kernel words",
+                "rng draws", "stream passes", "top span",
+            ],
+            rows=rows,
+            caption=(
+                f"{len(captured)} cell(s) carry telemetry from their "
+                "computing run (kernel words = 64-bit words touched by "
+                "kernel primitives)."
+            ),
+        )
+    )
+
+    from repro.telemetry import merge_telemetry_blocks
+
+    merged = merge_telemetry_blocks(r.telemetry for r in captured)
+    if merged and merged.get("counters"):
+        blocks.append(
+            TableBlock(
+                headers=["counter", "total"],
+                rows=[
+                    [f"`{name}`", merged["counters"][name]]
+                    for name in sorted(merged["counters"])
+                ],
+                caption=(
+                    f"Counters aggregated across {merged['entries']} captured "
+                    f"cell(s), {merged.get('elapsed_s', 0.0):.3g}s total "
+                    "compute time."
+                ),
+            )
+        )
+    return blocks
+
+
 def _experiment_blocks(records: Sequence[AnalysisRecord]) -> List[Block]:
     blocks: List[Block] = []
     for record in records:
@@ -307,6 +414,7 @@ def build_report(
         doc.blocks.extend(_workload_detail_blocks(workload))
 
     doc.blocks.extend(_missing_cells_blocks(analysis))
+    doc.blocks.extend(_telemetry_blocks(analysis))
 
     experiments = analysis.experiment_records
     if experiments:

@@ -25,6 +25,7 @@ serial run's and cache hits are observable.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -94,6 +95,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help="tasks per worker IPC round trip (default: auto, ~4 chunks per worker)",
+    )
+    run_parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="capture telemetry and write a trace JSONL file to DIR "
+        "(also honoured via the REPRO_TRACE environment variable)",
+    )
+
+    validate_parser = subparsers.add_parser(
+        "validate-trace",
+        help="validate trace JSONL files against the repro.trace/v1 schema",
+    )
+    validate_parser.add_argument(
+        "path", help="a trace .jsonl file, or a directory of them"
     )
 
     scenarios_parser = subparsers.add_parser(
@@ -195,9 +212,11 @@ def run_experiments(
     for experiment_id in experiment_ids:
         runner = EXPERIMENT_REGISTRY[experiment_id]
         kwargs = {"seed": seed} if seed is not None else {}
-        started = time.time()
+        # perf_counter, not time.time(): wall clocks step and drift, the
+        # monotonic clock is the only honest duration source.
+        started = time.perf_counter()
         result = runner(**kwargs)
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         results.append(result)
         if quiet:
             printer(f"[{experiment_id}] done in {elapsed:.1f}s")
@@ -308,6 +327,32 @@ def _report_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_trace_command(path_arg: str) -> int:
+    """Implement ``validate-trace``: check JSONL files against the schema."""
+    from repro.telemetry import validate_trace_dir, validate_trace_file
+
+    path = Path(path_arg)
+    if not path.exists():
+        raise SystemExit(f"no such file or directory: {path_arg}")
+    if path.is_dir():
+        reports = validate_trace_dir(path)
+    else:
+        reports = [(path, validate_trace_file(path))]
+    failures = 0
+    for file_path, problems in reports:
+        if problems:
+            failures += 1
+            print(f"INVALID {file_path}")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"ok {file_path}")
+    if failures:
+        print(f"{failures} invalid trace file(s)")
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -315,6 +360,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "report":
         return _report_command(args)
+
+    if args.command == "validate-trace":
+        return _validate_trace_command(args.path)
 
     if args.command == "list":
         for experiment_id in sorted(EXPERIMENT_REGISTRY, key=lambda eid: int(eid[1:])):
@@ -331,17 +379,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Scenario/grid names only exist in the runtime registry; route the
         # whole run through the executor so they resolve and shard uniformly.
         use_runtime = True
-    if use_runtime:
-        results = run_experiments_runtime(
-            experiment_ids,
-            seed=args.seed,
-            workers=args.workers,
-            store_dir=args.store,
-            chunksize=args.chunksize,
-            quiet=args.quiet,
-        )
+
+    def _execute() -> List[ExperimentResult]:
+        if use_runtime:
+            return run_experiments_runtime(
+                experiment_ids,
+                seed=args.seed,
+                workers=args.workers,
+                store_dir=args.store,
+                chunksize=args.chunksize,
+                quiet=args.quiet,
+            )
+        return run_experiments(experiment_ids, seed=args.seed, quiet=args.quiet)
+
+    from repro.telemetry import trace_dir_from_env
+
+    trace_dir = args.trace or trace_dir_from_env()
+    if trace_dir:
+        from contextlib import ExitStack
+
+        from repro.telemetry import TelemetrySession, kernel_profiler, profiling_wanted
+
+        with ExitStack() as stack:
+            session = stack.enter_context(
+                TelemetrySession(
+                    label="-".join(args.experiments),
+                    trace_dir=trace_dir,
+                    attrs={"workers": args.workers, "seed": args.seed},
+                )
+            )
+            if profiling_wanted():
+                stack.enter_context(
+                    kernel_profiler(
+                        Path(trace_dir) / f"profile-kernels-{os.getpid()}.pstats"
+                    )
+                )
+            results = _execute()
+        print(f"wrote trace: {session.trace_path}")
     else:
-        results = run_experiments(experiment_ids, seed=args.seed, quiet=args.quiet)
+        results = _execute()
     if args.json:
         path = save_results_json(results, args.json)
         print(f"wrote {path}")

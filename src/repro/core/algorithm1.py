@@ -30,6 +30,8 @@ from repro.setcover.greedy import greedy_set_cover
 from repro.setcover.instance import SetSystem
 from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
 from repro.streaming.stream import SetStream
+from repro.telemetry import metrics
+from repro.telemetry.spans import span
 from repro.utils.bitset import bitset_size
 from repro.utils.rng import RandomSource, SeedLike, spawn_rng
 
@@ -124,18 +126,26 @@ class StreamingSetCover(StreamingAlgorithm):
         # only the surviving candidates are re-checked in arrival order.
         # ------------------------------------------------------------------
         threshold = n / (cfg.epsilon * cfg.opt_guess)
-        system = stream.batched_pass()
-        entry_gains = system.kernel().gains(uncovered_mask)
-        for set_index in stream.arrival_order:
-            if set_index in chosen or entry_gains[set_index] < threshold:
-                continue
-            mask = system.mask(set_index)
-            gain = bitset_size(mask & uncovered_mask)
-            if gain >= threshold:
-                chosen.add(set_index)
-                solution.append(set_index)
-                uncovered_mask &= ~mask
-                self.space.set_usage("solution", len(solution))
+        with span("alg1.prune", threshold=threshold) as prune_span:
+            uncovered_at_entry = bitset_size(uncovered_mask)
+            system = stream.batched_pass()
+            entry_gains = system.kernel().gains(uncovered_mask)
+            for set_index in stream.arrival_order:
+                if set_index in chosen or entry_gains[set_index] < threshold:
+                    continue
+                mask = system.mask(set_index)
+                gain = bitset_size(mask & uncovered_mask)
+                if gain >= threshold:
+                    chosen.add(set_index)
+                    solution.append(set_index)
+                    uncovered_mask &= ~mask
+                    self.space.set_usage("solution", len(solution))
+            covered = uncovered_at_entry - bitset_size(uncovered_mask)
+            prune_span.set(sets_admitted=len(solution), elements_covered=covered)
+            metrics.add("alg1.sets_admitted", len(solution))
+            metrics.add("alg1.elements_covered", covered)
+            metrics.observe("pass.sets_admitted", len(solution))
+            metrics.observe("pass.elements_covered", covered)
 
         # ------------------------------------------------------------------
         # alpha iterations of element sampling.
@@ -144,46 +154,66 @@ class StreamingSetCover(StreamingAlgorithm):
         for _round in range(cfg.alpha):
             if uncovered_mask == 0:
                 break
-            probability = sampling_probability(
-                universe_size=n,
-                num_sets=m,
-                cover_size_bound=cfg.opt_guess,
-                rho=rho,
-                constant=cfg.sampling_constant,
-            )
-            sampled_mask = element_sample_mask(
-                uncovered_mask, probability, seed=self._rng.spawn()
-            )
-            sample_size = bitset_size(sampled_mask)
-            metadata["sample_sizes"].append(sample_size)
-            self.space.set_usage("sampled_universe", sample_size)
+            with span("alg1.round", round=_round) as round_span:
+                uncovered_at_entry = bitset_size(uncovered_mask)
+                probability = sampling_probability(
+                    universe_size=n,
+                    num_sets=m,
+                    cover_size_bound=cfg.opt_guess,
+                    rho=rho,
+                    constant=cfg.sampling_constant,
+                )
+                with span("alg1.sample", probability=probability):
+                    sampled_mask = element_sample_mask(
+                        uncovered_mask, probability, seed=self._rng.spawn()
+                    )
+                sample_size = bitset_size(sampled_mask)
+                metadata["sample_sizes"].append(sample_size)
+                self.space.set_usage("sampled_universe", sample_size)
 
-            # Pass: store the projection of every set onto the sampled
-            # universe — one batched kernel call; the incidence count is the
-            # popcount of the rows it already produced.
-            system = stream.batched_pass()
-            projected_masks: List[int] = system.kernel().restrict(sampled_mask)
-            stored_incidences = sum(bitset_size(mask) for mask in projected_masks)
-            self.space.set_usage("stored_incidences", stored_incidences)
-            metadata["stored_incidences_per_round"].append(stored_incidences)
+                # Pass: store the projection of every set onto the sampled
+                # universe — one batched kernel call; the incidence count is the
+                # popcount of the rows it already produced.
+                system = stream.batched_pass()
+                with span("alg1.project", sample_size=sample_size) as project_span:
+                    projected_masks: List[int] = system.kernel().restrict(sampled_mask)
+                    stored_incidences = sum(
+                        bitset_size(mask) for mask in projected_masks
+                    )
+                    project_span.set(stored_incidences=stored_incidences)
+                self.space.set_usage("stored_incidences", stored_incidences)
+                metadata["stored_incidences_per_round"].append(stored_incidences)
 
-            # Offline: cover the sampled universe optimally (computation free).
-            round_solution = self._solve_subinstance(
-                n, projected_masks, sampled_mask, chosen
-            )
+                # Offline: cover the sampled universe optimally (computation free).
+                with span(
+                    "alg1.solve", solver=cfg.subinstance_solver
+                ) as solve_span:
+                    round_solution = self._solve_subinstance(
+                        n, projected_masks, sampled_mask, chosen
+                    )
+                    solve_span.set(round_solution_size=len(round_solution))
 
-            # Pass: shrink the uncovered universe by the chosen (full) sets.
-            system = stream.batched_pass()
-            uncovered_mask &= ~system.coverage_mask(round_solution)
-            for set_index in round_solution:
-                if set_index not in chosen:
-                    chosen.add(set_index)
-                    solution.append(set_index)
-            self.space.set_usage("solution", len(solution))
-            # Projections are discarded between rounds (one-shot pruning keeps
-            # only the solution and the uncovered universe).
-            self.space.reset_category("stored_incidences")
-            self.space.reset_category("sampled_universe")
+                # Pass: shrink the uncovered universe by the chosen (full) sets.
+                system = stream.batched_pass()
+                with span("alg1.shrink"):
+                    uncovered_mask &= ~system.coverage_mask(round_solution)
+                admitted = 0
+                for set_index in round_solution:
+                    if set_index not in chosen:
+                        chosen.add(set_index)
+                        solution.append(set_index)
+                        admitted += 1
+                self.space.set_usage("solution", len(solution))
+                # Projections are discarded between rounds (one-shot pruning keeps
+                # only the solution and the uncovered universe).
+                self.space.reset_category("stored_incidences")
+                self.space.reset_category("sampled_universe")
+                covered = uncovered_at_entry - bitset_size(uncovered_mask)
+                round_span.set(sets_admitted=admitted, elements_covered=covered)
+                metrics.add("alg1.sets_admitted", admitted)
+                metrics.add("alg1.elements_covered", covered)
+                metrics.observe("pass.sets_admitted", admitted)
+                metrics.observe("pass.elements_covered", covered)
 
         # ------------------------------------------------------------------
         # Optional clean-up pass: guarantee feasibility even when the
@@ -191,7 +221,19 @@ class StreamingSetCover(StreamingAlgorithm):
         # ------------------------------------------------------------------
         if cfg.ensure_feasible and uncovered_mask != 0:
             metadata["cleanup_used"] = True
-            uncovered_mask = self._cleanup_pass(stream, uncovered_mask, chosen, solution)
+            with span("alg1.cleanup") as cleanup_span:
+                uncovered_at_entry = bitset_size(uncovered_mask)
+                picks_before = len(solution)
+                uncovered_mask = self._cleanup_pass(
+                    stream, uncovered_mask, chosen, solution
+                )
+                admitted = len(solution) - picks_before
+                covered = uncovered_at_entry - bitset_size(uncovered_mask)
+                cleanup_span.set(sets_admitted=admitted, elements_covered=covered)
+                metrics.add("alg1.sets_admitted", admitted)
+                metrics.add("alg1.elements_covered", covered)
+                metrics.observe("pass.sets_admitted", admitted)
+                metrics.observe("pass.elements_covered", covered)
 
         metadata["uncovered_after_run"] = bitset_size(uncovered_mask)
         return self._finalize(stream, solution, metadata=metadata)

@@ -118,8 +118,18 @@ def make_kernel(
     if resolved == "numpy":
         from repro.kernels.numpy_backend import NumpyKernel
 
-        return NumpyKernel(universe_size, masks, packed=packed)
-    return PyIntKernel(universe_size, masks)
+        kernel: Kernel = NumpyKernel(universe_size, masks, packed=packed)
+    else:
+        kernel = PyIntKernel(universe_size, masks)
+    # Wrap in the metering proxy only while telemetry capture is active, so
+    # the telemetry-off path hands out the raw backend unchanged.
+    from repro.telemetry import metrics
+
+    if metrics.active() is not None:
+        from repro.telemetry.instrument import instrument_kernel
+
+        return instrument_kernel(kernel)
+    return kernel
 
 
 __all__ = [

@@ -34,6 +34,8 @@ from repro.communication.protocols.setcover_protocol import SetCoverInput
 from repro.exceptions import DistributionError
 from repro.problems.ghd import GHDInstance, default_set_sizes, sample_dghd_no, sample_dghd_yes
 from repro.setcover.instance import SetSystem
+from repro.telemetry import metrics
+from repro.telemetry.spans import span
 from repro.utils.bitset import bitset_from_indices, mask_from_bools
 from repro.utils.rng import SeedLike, batching_numpy, spawn_rng
 
@@ -162,35 +164,38 @@ def sample_dmc(
     t2 = parameters.t2
     a, b = parameters.resolved_set_sizes()
 
-    ghd_instances: List[GHDInstance] = []
-    alice_sets: List[int] = []
-    bob_sets: List[int] = []
-    c_masks: List[int] = []
-    d_masks: List[int] = []
-    for _ in range(m):
-        pair = sample_dghd_no(t1, a, b, seed=rng)
-        ghd_instances.append(pair)
-        c_mask, d_mask = _u2_split_masks(rng, t1, t2)
-        c_masks.append(c_mask)
-        d_masks.append(d_mask)
-        alice_sets.append(bitset_from_indices(sorted(pair.alice)) | c_mask)
-        bob_sets.append(bitset_from_indices(sorted(pair.bob)) | d_mask)
+    with span("sampler.dmc", m=m, t1=t1, t2=t2) as active:
+        metrics.add("sampler.dmc_instances")
+        ghd_instances: List[GHDInstance] = []
+        alice_sets: List[int] = []
+        bob_sets: List[int] = []
+        c_masks: List[int] = []
+        d_masks: List[int] = []
+        for _ in range(m):
+            pair = sample_dghd_no(t1, a, b, seed=rng)
+            ghd_instances.append(pair)
+            c_mask, d_mask = _u2_split_masks(rng, t1, t2)
+            c_masks.append(c_mask)
+            d_masks.append(d_mask)
+            alice_sets.append(bitset_from_indices(sorted(pair.alice)) | c_mask)
+            bob_sets.append(bitset_from_indices(sorted(pair.bob)) | d_mask)
 
-    if theta is None:
-        theta = rng.randint(0, 1)
-    if theta not in (0, 1):
-        raise DistributionError(f"theta must be 0 or 1, got {theta}")
-    special_index: Optional[int] = None
-    if theta == 1:
-        special_index = rng.randrange(m)
-        pair = sample_dghd_yes(t1, a, b, seed=rng)
-        ghd_instances[special_index] = pair
-        alice_sets[special_index] = (
-            bitset_from_indices(sorted(pair.alice)) | c_masks[special_index]
-        )
-        bob_sets[special_index] = (
-            bitset_from_indices(sorted(pair.bob)) | d_masks[special_index]
-        )
+        if theta is None:
+            theta = rng.randint(0, 1)
+        if theta not in (0, 1):
+            raise DistributionError(f"theta must be 0 or 1, got {theta}")
+        special_index: Optional[int] = None
+        if theta == 1:
+            special_index = rng.randrange(m)
+            pair = sample_dghd_yes(t1, a, b, seed=rng)
+            ghd_instances[special_index] = pair
+            alice_sets[special_index] = (
+                bitset_from_indices(sorted(pair.alice)) | c_masks[special_index]
+            )
+            bob_sets[special_index] = (
+                bitset_from_indices(sorted(pair.bob)) | d_masks[special_index]
+            )
+        active.set(theta=theta)
 
     return DMCInstance(
         parameters=parameters,

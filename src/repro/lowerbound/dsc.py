@@ -53,6 +53,8 @@ from repro.problems.disjointness import (
     sample_ddisj_yes,
 )
 from repro.setcover.instance import SetSystem
+from repro.telemetry import metrics
+from repro.telemetry.spans import span
 from repro.utils.bitset import bitset_from_indices, masks_from_bool_rows, universe_mask
 from repro.utils.rng import SeedLike, batching_numpy, spawn_rng
 
@@ -355,29 +357,32 @@ def sample_dsc(
     t = parameters.resolved_t()
     full = universe_mask(n)
 
-    numpy = batching_numpy()
-    if numpy is not None:
-        disjointness, block_id_rows, alice_sets, bob_sets = _sample_pairs_batched(
-            numpy, rng, n, m, t
-        )
-    else:
-        disjointness, block_id_rows, alice_sets, bob_sets = _sample_pairs_loop(
-            rng, n, m, t
-        )
-    mappings = LazyMappings(n, t, block_id_rows)
+    with span("sampler.dsc", n=n, m=m, t=t) as active:
+        metrics.add("sampler.dsc_instances")
+        numpy = batching_numpy()
+        if numpy is not None:
+            disjointness, block_id_rows, alice_sets, bob_sets = _sample_pairs_batched(
+                numpy, rng, n, m, t
+            )
+        else:
+            disjointness, block_id_rows, alice_sets, bob_sets = _sample_pairs_loop(
+                rng, n, m, t
+            )
+        mappings = LazyMappings(n, t, block_id_rows)
 
-    if theta is None:
-        theta = rng.randint(0, 1)
-    if theta not in (0, 1):
-        raise DistributionError(f"theta must be 0 or 1, got {theta}")
-    special_index: Optional[int] = None
-    if theta == 1:
-        special_index = rng.randrange(m)
-        pair = sample_ddisj_yes(t, seed=rng)
-        disjointness[special_index] = pair
-        alice_sets[special_index], bob_sets[special_index] = _rebuild_pair_masks(
-            pair, mappings[special_index], full
-        )
+        if theta is None:
+            theta = rng.randint(0, 1)
+        if theta not in (0, 1):
+            raise DistributionError(f"theta must be 0 or 1, got {theta}")
+        special_index: Optional[int] = None
+        if theta == 1:
+            special_index = rng.randrange(m)
+            pair = sample_ddisj_yes(t, seed=rng)
+            disjointness[special_index] = pair
+            alice_sets[special_index], bob_sets[special_index] = _rebuild_pair_masks(
+                pair, mappings[special_index], full
+            )
+        active.set(theta=theta, batched=numpy is not None)
 
     return DSCInstance(
         parameters=parameters,

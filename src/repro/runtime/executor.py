@@ -42,6 +42,15 @@ from repro.experiments.report import result_from_dict, result_to_dict
 from repro.runtime.scenarios import freeze_params
 from repro.runtime.store import ResultStore
 from repro.runtime.tasks import RuntimeTask, execute_task
+from repro.telemetry import metrics
+from repro.telemetry.session import (
+    TelemetrySession,
+    active_session,
+    capture_wanted,
+    merge_telemetry_blocks,
+    summarize_snapshot,
+)
+from repro.telemetry.spans import clock, span
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -51,15 +60,28 @@ ResultT = TypeVar("ResultT")
 STATUS_COMPUTED = "computed"
 STATUS_CACHED = "cached"
 
+#: Reserved key a capturing worker smuggles its telemetry snapshot back
+#: under, inside the (otherwise pure-result) task payload.  The executor pops
+#: it before the payload is persisted or handed to callers, so the result
+#: dict observable anywhere downstream is byte-identical with telemetry on or
+#: off.
+TELEMETRY_KEY = "__telemetry__"
+
 
 @dataclass
 class TaskOutcome:
-    """One task's terminal state: its payload plus how it was obtained."""
+    """One task's terminal state: its payload plus how it was obtained.
+
+    ``telemetry`` carries the computing run's summarized telemetry block
+    (counters / gauges / histograms / span summary) when capture was on —
+    for cached outcomes, the block stored alongside the entry, if any.
+    """
 
     task: RuntimeTask
     payload: Dict[str, Any]
     status: str
     elapsed: float = 0.0
+    telemetry: Optional[Dict[str, Any]] = None
 
     def result(self) -> ExperimentResult:
         """Materialise the payload back into an :class:`ExperimentResult`."""
@@ -68,10 +90,15 @@ class TaskOutcome:
 
 @dataclass
 class RunReport:
-    """The merged, submission-ordered outcomes of one executor run."""
+    """The merged, submission-ordered outcomes of one executor run.
+
+    ``telemetry`` is the deterministic submission-order merge of the
+    per-outcome telemetry blocks (``None`` when no outcome carried one).
+    """
 
     outcomes: List[TaskOutcome] = field(default_factory=list)
     workers: int = 1
+    telemetry: Optional[Dict[str, Any]] = None
 
     def results(self) -> List[ExperimentResult]:
         return [outcome.result() for outcome in self.outcomes]
@@ -87,18 +114,44 @@ class RunReport:
         return len(self.outcomes)
 
 
-def _timed_execute(task: RuntimeTask) -> Tuple[Dict[str, Any], float]:
-    """Worker entry point: run one task, returning (payload, elapsed seconds)."""
-    started = time.time()
-    payload = execute_task(task)
-    return payload, time.time() - started
+def _timed_execute(
+    task: RuntimeTask, capture: bool = False
+) -> Tuple[Dict[str, Any], float]:
+    """Worker entry point: run one task, returning (payload, elapsed seconds).
+
+    Durations come from ``perf_counter`` (wall clocks drift and step; the
+    monotonic clock is the only honest duration source).  With ``capture``
+    on — passed explicitly by the executor, or demanded by the environment
+    (``REPRO_TRACE``/``REPRO_TELEMETRY``) for workers whose parent could not
+    reach them — the task runs inside its own telemetry session and the
+    session snapshot rides back under :data:`TELEMETRY_KEY` in the payload.
+    The snapshot is a *sibling* of the result data, popped by the executor
+    before anything downstream sees the payload.
+    """
+    started_wall = time.time()
+    started = clock()
+    if not capture:
+        capture = capture_wanted()
+    if not capture:
+        payload = execute_task(task)
+        return payload, clock() - started
+    with TelemetrySession(label=task.key) as session:
+        with span("task.run", key=task.key):
+            payload = execute_task(task)
+    elapsed = clock() - started
+    payload[TELEMETRY_KEY] = {
+        "snapshot": session.snapshot(),
+        "started_wall": started_wall,
+        "elapsed": elapsed,
+    }
+    return payload, elapsed
 
 
 def _timed_execute_chunk(
-    tasks: List[RuntimeTask],
+    tasks: List[RuntimeTask], capture: bool = False
 ) -> List[Tuple[Dict[str, Any], float]]:
     """Worker entry point for a chunk: one IPC round trip, many tasks."""
-    return [_timed_execute(task) for task in tasks]
+    return [_timed_execute(task, capture) for task in tasks]
 
 
 def default_chunksize(pending: int, workers: int) -> int:
@@ -149,43 +202,115 @@ class TaskExecutor:
         failure.
         """
         ordered = list(tasks)
+        session = active_session()
+        capture = session is not None or capture_wanted()
         outcomes: Dict[int, TaskOutcome] = {}
+        raw_telemetry: Dict[int, Dict[str, Any]] = {}
         pending: List[Tuple[int, RuntimeTask]] = []
         for index, task in enumerate(ordered):
-            cached = self.store.get(task) if self.store is not None else None
-            if cached is not None:
+            entry = self.store.fetch(task) if self.store is not None else None
+            if entry is not None:
+                self.store.record_skip()
+                metrics.add("executor.tasks.cached")
                 outcomes[index] = TaskOutcome(
-                    task=task, payload=cached, status=STATUS_CACHED
+                    task=task,
+                    payload=entry["result"],
+                    status=STATUS_CACHED,
+                    telemetry=entry.get("telemetry"),
                 )
             else:
                 pending.append((index, task))
 
-        for index, task, payload, elapsed in self._execute_pending(pending):
+        for index, task, payload, elapsed, submit_wall in self._execute_pending(
+            pending, capture
+        ):
+            shipped = payload.pop(TELEMETRY_KEY, None)
+            block = summarize_snapshot(shipped["snapshot"]) if shipped else None
+            if shipped is not None:
+                shipped["submit_wall"] = submit_wall
+                raw_telemetry[index] = shipped
             if self.store is not None:
-                self.store.put(task, payload)
+                self.store.put(task, payload, telemetry=block)
+            metrics.add("executor.tasks.computed")
             outcomes[index] = TaskOutcome(
-                task=task, payload=payload, status=STATUS_COMPUTED, elapsed=elapsed
+                task=task,
+                payload=payload,
+                status=STATUS_COMPUTED,
+                elapsed=elapsed,
+                telemetry=block,
             )
 
+        if session is not None:
+            self._absorb_telemetry(session, ordered, raw_telemetry)
+        if self.store is not None:
+            self.store.flush_stats()
+
+        report_outcomes = [outcomes[index] for index in range(len(ordered))]
         return RunReport(
-            outcomes=[outcomes[index] for index in range(len(ordered))],
+            outcomes=report_outcomes,
             workers=self.workers,
+            telemetry=merge_telemetry_blocks(o.telemetry for o in report_outcomes),
         )
 
-    def _execute_pending(self, pending: List[Tuple[int, RuntimeTask]]):
-        """Yield ``(index, task, payload, elapsed)`` as tasks finish.
+    @staticmethod
+    def _absorb_telemetry(
+        session: TelemetrySession,
+        ordered: List[RuntimeTask],
+        raw_telemetry: Dict[int, Dict[str, Any]],
+    ) -> None:
+        """Fold worker snapshots into the parent session, submission order.
+
+        For each computed task a manufactured ``task.lifecycle`` span groups
+        its ``task.queue_wait`` (submit wall clock to worker start — wall
+        clocks because ``perf_counter`` is not comparable across processes),
+        the absorbed worker spans (``task.run`` and everything under it), and
+        the parent-side ``task.merge``.
+        """
+        for index in sorted(raw_telemetry):
+            shipped = raw_telemetry[index]
+            task = ordered[index]
+            snapshot = shipped.get("snapshot") or {}
+            queue_wait = max(
+                0.0,
+                snapshot.get("started_wall", 0.0) - shipped.get("submit_wall", 0.0),
+            )
+            lifecycle = session.tracer.add_span(
+                "task.lifecycle",
+                duration=queue_wait + shipped.get("elapsed", 0.0),
+                key=task.key,
+            )
+            session.tracer.add_span(
+                "task.queue_wait",
+                duration=queue_wait,
+                parent_id=lifecycle,
+                key=task.key,
+            )
+            merge_start = clock()
+            session.absorb(snapshot, under=lifecycle, extra_attrs={"task": task.key})
+            session.tracer.add_span(
+                "task.merge",
+                duration=clock() - merge_start,
+                parent_id=lifecycle,
+                key=task.key,
+            )
+
+    def _execute_pending(self, pending: List[Tuple[int, RuntimeTask]], capture: bool = False):
+        """Yield ``(index, task, payload, elapsed, submit_wall)`` as tasks finish.
 
         Completion order, not submission order — the caller persists each
         result eagerly and re-sorts by index afterwards.  Tasks ship to the
         workers in contiguous chunks so a large grid pays one pickle/IPC
         round trip per chunk instead of per task.  Worker-spawn failure
         (restricted sandboxes) degrades to the serial path; a task's own
-        exception propagates unchanged.
+        exception propagates unchanged.  ``submit_wall`` is the wall-clock
+        instant the task was handed to its runner (queue-wait accounting);
+        ``capture`` turns on telemetry capture inside the workers.
         """
         if self.workers <= 1 or len(pending) <= 1:
             for index, task in pending:
-                payload, elapsed = _timed_execute(task)
-                yield index, task, payload, elapsed
+                submit_wall = time.time()
+                payload, elapsed = _timed_execute(task, capture)
+                yield index, task, payload, elapsed, submit_wall
             return
         size = self.chunksize or default_chunksize(len(pending), self.workers)
         chunks = [pending[start : start + size] for start in range(0, len(pending), size)]
@@ -195,21 +320,26 @@ class TaskExecutor:
             pool = ProcessPoolExecutor(max_workers=min(self.workers, len(chunks)))
             first_chunk = chunks[0]
             future_info = {
-                pool.submit(_timed_execute_chunk, [task for _, task in first_chunk]): first_chunk
+                pool.submit(
+                    _timed_execute_chunk, [task for _, task in first_chunk], capture
+                ): (first_chunk, time.time())
             }
         except OSError:  # pragma: no cover - sandbox fallback
             for index, task in pending:
-                payload, elapsed = _timed_execute(task)
-                yield index, task, payload, elapsed
+                submit_wall = time.time()
+                payload, elapsed = _timed_execute(task, capture)
+                yield index, task, payload, elapsed, submit_wall
             return
         with pool:
             for chunk in chunks[1:]:
-                future = pool.submit(_timed_execute_chunk, [task for _, task in chunk])
-                future_info[future] = chunk
+                future = pool.submit(
+                    _timed_execute_chunk, [task for _, task in chunk], capture
+                )
+                future_info[future] = (chunk, time.time())
             for future in as_completed(future_info):
-                chunk = future_info[future]
+                chunk, submit_wall = future_info[future]
                 for (index, task), (payload, elapsed) in zip(chunk, future.result()):
-                    yield index, task, payload, elapsed
+                    yield index, task, payload, elapsed, submit_wall
 
 
 def parallel_map(
@@ -276,6 +406,7 @@ def run_cached(
     )
     cached = store.get(task)
     if cached is not None:
+        store.record_skip()
         return result_from_dict(cached), STATUS_CACHED
     result = func(**kwargs)
     store.put(task, result_to_dict(result))

@@ -22,8 +22,10 @@ Example — miss, put, hit::
     >>> _ = store.put(task, {"answer": 42})
     >>> store.get(task)
     {'answer': 42}
-    >>> (store.hits, store.misses)
-    (1, 1)
+    >>> (store.hits, store.misses, store.puts, store.skips)
+    (1, 1, 1, 0)
+    >>> read_store_stats(store.flush_stats().parent)
+    {'hits': 1, 'misses': 1, 'puts': 1, 'skips': 0}
 """
 
 from __future__ import annotations
@@ -36,11 +38,38 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.runtime.tasks import RuntimeTask
+from repro.telemetry.metrics import add as _count
 
 PathLike = Union[str, Path]
 
-#: Bump when the stored payload layout changes incompatibly.
+#: Bump when the stored payload layout changes incompatibly.  The optional
+#: ``telemetry`` block added alongside ``result`` is additive (old readers
+#: ignore it, old entries simply lack it), so it does not bump the format.
 STORE_FORMAT_VERSION = 1
+
+#: Filename of the persisted hit/miss/put/skip totals at the store root.
+#: Lives outside the two-hex shard directories so ``*/*.json`` entry globs
+#: never see it.
+STORE_STATS_FILENAME = "store_stats.json"
+
+#: The counter names persisted in the stats file, in canonical order.
+_STAT_KEYS = ("hits", "misses", "puts", "skips")
+
+
+def read_store_stats(root: PathLike) -> Optional[Dict[str, int]]:
+    """Read the persisted store stats at ``root``, or ``None`` if absent.
+
+    The result always carries all four keys (missing ones read as 0);
+    unreadable or corrupt files read as absent.
+    """
+    path = Path(root) / STORE_STATS_FILENAME
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(raw, dict):
+        return None
+    return {key: int(raw.get(key, 0)) for key in _STAT_KEYS}
 
 
 def task_fingerprint(task: RuntimeTask) -> str:
@@ -58,6 +87,11 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.puts = 0
+        self.skips = 0
+        # Totals already flushed to disk this session, so flush_stats adds
+        # only the delta and repeated flushes never double count.
+        self._flushed = {key: 0 for key in _STAT_KEYS}
 
     def path_for(self, fingerprint: str) -> Path:
         """Where the entry for ``fingerprint`` lives (may not exist)."""
@@ -65,12 +99,25 @@ class ResultStore:
 
     def get(self, task: RuntimeTask) -> Optional[Dict[str, Any]]:
         """Return the stored result payload for ``task``, or ``None`` on miss."""
+        entry = self.fetch(task)
+        if entry is None:
+            return None
+        return entry["result"]
+
+    def fetch(self, task: RuntimeTask) -> Optional[Dict[str, Any]]:
+        """Return the full stored entry for ``task`` (counting hit/miss).
+
+        The entry carries ``result`` plus metadata — ``telemetry`` when the
+        computing run captured it.  Use :meth:`get` for just the payload.
+        """
         entry = self._valid_entry(task)
         if entry is None:
             self.misses += 1
+            _count("store.misses")
             return None
         self.hits += 1
-        return entry["result"]
+        _count("store.hits")
+        return entry
 
     def _valid_entry(self, task: RuntimeTask) -> Optional[Dict[str, Any]]:
         """Load and validate the entry for ``task`` (no counter side effects)."""
@@ -84,8 +131,19 @@ class ResultStore:
             return None
         return entry
 
-    def put(self, task: RuntimeTask, result_payload: Dict[str, Any]) -> Path:
-        """Persist a computed result; returns the entry path."""
+    def put(
+        self,
+        task: RuntimeTask,
+        result_payload: Dict[str, Any],
+        telemetry: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Persist a computed result; returns the entry path.
+
+        ``telemetry`` optionally attaches the computing run's summarized
+        telemetry block *alongside* the result — it is never part of
+        ``result`` or of the fingerprint, so captured and uncaptured runs
+        store byte-identical result payloads.
+        """
         fingerprint = task_fingerprint(task)
         path = self.path_for(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -96,6 +154,10 @@ class ResultStore:
             "key": task.key,
             "result": result_payload,
         }
+        if telemetry is not None:
+            entry["telemetry"] = telemetry
+        self.puts += 1
+        _count("store.puts")
         # Write-then-rename so a crashed run never leaves a truncated entry
         # in place.  The tmp name is per-process-unique: concurrent writers
         # of the same task (two CLI runs sharing a store) each rename their
@@ -103,6 +165,40 @@ class ResultStore:
         # of which writer wins.
         tmp_path = path.parent / f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
         tmp_path.write_text(json.dumps(entry, indent=2, sort_keys=True))
+        tmp_path.replace(path)
+        return path
+
+    def record_skip(self) -> None:
+        """Count one task whose computation was skipped (served from cache)."""
+        self.skips += 1
+        _count("store.skips")
+
+    def stats(self) -> Dict[str, int]:
+        """This session's counter values as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "skips": self.skips,
+        }
+
+    def flush_stats(self) -> Path:
+        """Fold this session's counts into the persisted stats file.
+
+        Cumulative across runs: the on-disk totals gain only the counts not
+        yet flushed this session, so calling flush repeatedly (or from
+        several sequential runs against the same store) never double counts.
+        Written atomically (write-then-rename) like entries.  Returns the
+        stats file path.
+        """
+        current = self.stats()
+        totals = read_store_stats(self.root) or {key: 0 for key in _STAT_KEYS}
+        for key in _STAT_KEYS:
+            totals[key] += current[key] - self._flushed[key]
+        self._flushed = current
+        path = self.root / STORE_STATS_FILENAME
+        tmp_path = path.parent / f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        tmp_path.write_text(json.dumps(totals, indent=2, sort_keys=True))
         tmp_path.replace(path)
         return path
 

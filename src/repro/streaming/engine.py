@@ -20,6 +20,8 @@ from repro.setcover.verify import verify_cover
 from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
 from repro.streaming.space import SpaceMeter
 from repro.streaming.stream import SetStream, StreamOrder
+from repro.telemetry import metrics
+from repro.telemetry.spans import span
 from repro.utils.rng import SeedLike
 
 
@@ -79,14 +81,28 @@ class MultiPassEngine:
             order=self.config.order,
             seed=self.config.seed,
         )
-        result = algorithm.run(stream)
+        metrics.add("engine.runs")
+        with span(
+            "engine.run",
+            algorithm=type(algorithm).__name__,
+            n=system.universe_size,
+            m=system.num_sets,
+            order=self.config.order.value,
+        ) as active:
+            result = algorithm.run(stream)
+            active.set(
+                passes=result.passes,
+                solution_size=len(result.solution),
+                peak_words=result.space.peak_words if result.space else 0,
+            )
         if (
             self.config.pass_budget is not None
             and result.passes > self.config.pass_budget
         ):
             raise PassBudgetExceededError(result.passes, self.config.pass_budget)
         if self.config.verify_solution:
-            verify_cover(system, result.solution)
+            with span("engine.verify", solution_size=len(result.solution)):
+                verify_cover(system, result.solution)
         return result
 
 

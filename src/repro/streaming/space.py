@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.exceptions import SpaceBudgetExceededError
+from repro.telemetry.metrics import gauge_set as _gauge
 
 
 @dataclass
@@ -91,6 +92,10 @@ class SpaceMeter:
         )
         total = self.current_words
         self._peak_total = max(self._peak_total, total)
+        # Telemetry gauges record the high-water series per category and in
+        # total (no-ops when telemetry is off).
+        _gauge(f"space.{category}", words)
+        _gauge("space.total_words", total)
         if self._budget is not None and total > self._budget:
             raise SpaceBudgetExceededError(total, self._budget)
 

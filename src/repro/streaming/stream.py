@@ -13,6 +13,8 @@ import enum
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.setcover.instance import SetSystem
+from repro.telemetry import metrics
+from repro.telemetry.spans import event
 from repro.utils.rng import RandomSource, SeedLike, spawn_rng
 
 
@@ -103,6 +105,17 @@ class SetStream:
         passes still cost a pass, as they would in the streaming model).
         """
         self._passes_consumed += 1
+        # A zero-duration event rather than a span: this is a generator, and
+        # holding a span open across yields would leak its parent token into
+        # the caller's context between items.
+        event(
+            "stream.pass",
+            number=self._passes_consumed,
+            mode="iterate",
+            m=self._system.num_sets,
+        )
+        metrics.add("stream.passes")
+        metrics.add("stream.sets_streamed", self._system.num_sets)
         for set_index in self._permutation:
             yield set_index, self._system.mask(set_index)
 
@@ -117,6 +130,14 @@ class SetStream:
         order, where it matters, comes from :attr:`arrival_order`.
         """
         self._passes_consumed += 1
+        event(
+            "stream.pass",
+            number=self._passes_consumed,
+            mode="batched",
+            m=self._system.num_sets,
+        )
+        metrics.add("stream.passes")
+        metrics.add("stream.sets_streamed", self._system.num_sets)
         return self._system
 
     def reset(self) -> None:

@@ -1,0 +1,104 @@
+"""Structured observability for the whole stack, with zero effect on outputs.
+
+``repro.telemetry`` gives every layer — runtime executor, streaming engine,
+Algorithm 1, the kernels, the RNG, the lower-bound samplers — a shared
+measurement substrate:
+
+* **Spans** (:mod:`~repro.telemetry.spans`): a contextvars-based tracer;
+  instrumented code opens ``span("engine.run", n=...)`` blocks that nest
+  automatically and are timed with ``time.perf_counter`` (exported as
+  :data:`clock`, the one duration clock the stack uses).
+* **Metrics** (:mod:`~repro.telemetry.metrics`): counters / gauges /
+  histograms with deterministic merge — kernel words processed, RNG draws,
+  store hits, per-pass admission histograms, SpaceMeter high-water gauges.
+* **Sessions** (:mod:`~repro.telemetry.session`): the on-switch.  All
+  instrumentation points no-op (one context-variable load) unless a
+  :class:`TelemetrySession` is active, which is what makes telemetry provably
+  output-neutral.  Sessions snapshot for cross-process aggregation and export
+  trace JSONL files (schema in :mod:`~repro.telemetry.schema`,
+  ``repro validate-trace`` checks them).
+* **Profiling** (:mod:`~repro.telemetry.profiling`): opt-in cProfile wrapping
+  of kernel primitives and the measured-overhead guard behind the ≤5% gate.
+
+See ``docs/observability.md`` for the span taxonomy and metric name registry.
+
+Example — nothing records without a session; everything does inside one::
+
+    >>> with span("warmup"):
+    ...     add("demo.counter")
+    >>> with TelemetrySession(label="demo") as session:
+    ...     with span("engine.run"):
+    ...         add("demo.counter", 2)
+    >>> session.snapshot()["metrics"]["counters"]
+    {'demo.counter': 2}
+"""
+
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    add,
+    gauge_set,
+    merge_counter_maps,
+    observe,
+)
+from repro.telemetry.profiling import (
+    PROFILE_ENV_VAR,
+    kernel_profile,
+    kernel_profiler,
+    measure_overhead,
+    profiling_wanted,
+)
+from repro.telemetry.schema import (
+    TRACE_SCHEMA,
+    validate_trace_dir,
+    validate_trace_file,
+    validate_trace_line,
+)
+from repro.telemetry.session import (
+    TELEMETRY_ENV_VAR,
+    TRACE_ENV_VAR,
+    TelemetrySession,
+    active_session,
+    capture_wanted,
+    merge_telemetry_blocks,
+    summarize_snapshot,
+    trace_dir_from_env,
+)
+from repro.telemetry.spans import Tracer, active_tracer, clock, event, span
+from repro.telemetry.instrument import (
+    InstrumentedKernel,
+    InstrumentedTracker,
+    instrument_kernel,
+)
+
+__all__ = [
+    "InstrumentedKernel",
+    "InstrumentedTracker",
+    "MetricsRegistry",
+    "PROFILE_ENV_VAR",
+    "TELEMETRY_ENV_VAR",
+    "TRACE_ENV_VAR",
+    "TRACE_SCHEMA",
+    "TelemetrySession",
+    "Tracer",
+    "active_session",
+    "active_tracer",
+    "add",
+    "capture_wanted",
+    "clock",
+    "event",
+    "gauge_set",
+    "instrument_kernel",
+    "kernel_profile",
+    "kernel_profiler",
+    "measure_overhead",
+    "merge_counter_maps",
+    "merge_telemetry_blocks",
+    "observe",
+    "profiling_wanted",
+    "span",
+    "summarize_snapshot",
+    "trace_dir_from_env",
+    "validate_trace_dir",
+    "validate_trace_file",
+    "validate_trace_line",
+]

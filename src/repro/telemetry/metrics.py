@@ -1,0 +1,212 @@
+"""Counters, gauges, and histograms: the numeric half of telemetry.
+
+A :class:`MetricsRegistry` is a plain in-process accumulator — counters add,
+gauges remember ``last``/``max``/``updates`` (the SpaceMeter high-water
+series), histograms keep count/total/min/max plus power-of-two buckets — with
+deterministic, associative merge semantics so worker-process snapshots can be
+folded into a parent registry *in submission order* and always produce the
+same aggregate.
+
+Instrumented code never holds a registry directly: it calls the module-level
+helpers (:func:`add`, :func:`observe`, :func:`gauge_set`), which no-op unless
+a :class:`~repro.telemetry.session.TelemetrySession` has installed a registry
+in the current context.  The off-path is a single context-variable load, so
+instrumentation points are safe in hot code.
+
+Example — counters accumulate only while a registry is active::
+
+    >>> registry = MetricsRegistry()
+    >>> token = _ACTIVE.set(registry)
+    >>> add("kernel.calls.gains"); add("kernel.words.gains", 640)
+    >>> _ACTIVE.reset(token)
+    >>> add("kernel.calls.gains")  # inactive: dropped
+    >>> registry.snapshot()["counters"]
+    {'kernel.calls.gains': 1, 'kernel.words.gains': 640}
+"""
+
+from __future__ import annotations
+
+import math
+from contextvars import ContextVar
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+Number = Union[int, float]
+
+#: The registry instrumentation points write to; ``None`` disables them.
+#: Managed by :class:`repro.telemetry.session.TelemetrySession`.
+_ACTIVE: "ContextVar[Optional[MetricsRegistry]]" = ContextVar(
+    "repro_telemetry_registry", default=None
+)
+
+
+def active() -> "Optional[MetricsRegistry]":
+    """The registry metrics helpers currently write to, or ``None``."""
+    return _ACTIVE.get()
+
+
+def add(name: str, n: Number = 1) -> None:
+    """Increment counter ``name`` by ``n`` (no-op without an active registry)."""
+    registry = _ACTIVE.get()
+    if registry is not None:
+        registry.count(name, n)
+
+
+def observe(name: str, value: Number) -> None:
+    """Record ``value`` into histogram ``name`` (no-op when inactive)."""
+    registry = _ACTIVE.get()
+    if registry is not None:
+        registry.observe(name, value)
+
+
+def gauge_set(name: str, value: Number) -> None:
+    """Set gauge ``name`` to ``value`` (no-op when inactive)."""
+    registry = _ACTIVE.get()
+    if registry is not None:
+        registry.gauge_set(name, value)
+
+
+def _bucket(value: Number) -> str:
+    """Histogram bucket label: the power-of-two exponent of ``value``.
+
+    A value lands in bucket ``e`` when it lies in ``[2^(e-1), 2^e)``;
+    non-positive values share the ``"0"`` bucket.  String keys keep the
+    snapshot JSON-serialisable.
+    """
+    if value <= 0:
+        return "0"
+    return str(math.frexp(value)[1])
+
+
+class MetricsRegistry:
+    """In-process metric accumulator with deterministic merge."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Number] = {}
+        # name -> [last, max, updates]
+        self.gauges: Dict[str, List[Number]] = {}
+        # name -> {"count", "total", "min", "max", "buckets": {label: count}}
+        self.histograms: Dict[str, Dict[str, Any]] = {}
+
+    # -- recording ---------------------------------------------------------
+    def count(self, name: str, n: Number = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge_set(self, name: str, value: Number) -> None:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            self.gauges[name] = [value, value, 1]
+        else:
+            gauge[0] = value
+            if value > gauge[1]:
+                gauge[1] = value
+            gauge[2] += 1
+
+    def observe(self, name: str, value: Number) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = {
+                "count": 0,
+                "total": 0,
+                "min": value,
+                "max": value,
+                "buckets": {},
+            }
+            self.histograms[name] = histogram
+        histogram["count"] += 1
+        histogram["total"] += value
+        if value < histogram["min"]:
+            histogram["min"] = value
+        if value > histogram["max"]:
+            histogram["max"] = value
+        label = _bucket(value)
+        histogram["buckets"][label] = histogram["buckets"].get(label, 0) + 1
+
+    # -- snapshot / merge ---------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready deep copy with deterministically sorted keys."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "gauges": {
+                name: {
+                    "last": self.gauges[name][0],
+                    "max": self.gauges[name][1],
+                    "updates": self.gauges[name][2],
+                }
+                for name in sorted(self.gauges)
+            },
+            "histograms": {
+                name: {
+                    "count": hist["count"],
+                    "total": hist["total"],
+                    "min": hist["min"],
+                    "max": hist["max"],
+                    "buckets": {
+                        label: hist["buckets"][label]
+                        for label in sorted(hist["buckets"], key=_bucket_sort_key)
+                    },
+                }
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histogram buckets add; gauge ``last`` takes the merged
+        snapshot's value (callers merge in submission order, so "last" is
+        well-defined), ``max`` takes the max.  Merging is associative, so any
+        grouping of worker snapshots produces the same aggregate as long as
+        the order is fixed.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.count(name, value)
+        for name, gauge in (snapshot.get("gauges") or {}).items():
+            current = self.gauges.get(name)
+            if current is None:
+                self.gauges[name] = [gauge["last"], gauge["max"], gauge["updates"]]
+            else:
+                current[0] = gauge["last"]
+                if gauge["max"] > current[1]:
+                    current[1] = gauge["max"]
+                current[2] += gauge["updates"]
+        for name, hist in (snapshot.get("histograms") or {}).items():
+            current = self.histograms.get(name)
+            if current is None:
+                self.histograms[name] = {
+                    "count": hist["count"],
+                    "total": hist["total"],
+                    "min": hist["min"],
+                    "max": hist["max"],
+                    "buckets": dict(hist.get("buckets") or {}),
+                }
+                continue
+            current["count"] += hist["count"]
+            current["total"] += hist["total"]
+            if hist["min"] < current["min"]:
+                current["min"] = hist["min"]
+            if hist["max"] > current["max"]:
+                current["max"] = hist["max"]
+            for label, count in (hist.get("buckets") or {}).items():
+                current["buckets"][label] = current["buckets"].get(label, 0) + count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )
+
+
+def _bucket_sort_key(label: str) -> int:
+    try:
+        return int(label)
+    except ValueError:  # pragma: no cover - labels are always int strings
+        return 0
+
+
+def merge_counter_maps(maps: Iterable[Dict[str, Number]]) -> Dict[str, Number]:
+    """Sum plain ``{name: value}`` counter maps (sorted keys in the result)."""
+    merged: Dict[str, Number] = {}
+    for counter_map in maps:
+        for name, value in (counter_map or {}).items():
+            merged[name] = merged.get(name, 0) + value
+    return {name: merged[name] for name in sorted(merged)}

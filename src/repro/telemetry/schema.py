@@ -1,0 +1,159 @@
+"""The trace JSONL schema and its stdlib-only validator.
+
+A trace file is one JSON object per line.  Line one is always the ``run``
+header; ``span`` lines follow in record order; the final line is the merged
+``metrics`` snapshot.  The schema is versioned through :data:`TRACE_SCHEMA`
+(also stamped on every cross-process telemetry block) and validated
+structurally here — no external JSON-schema dependency — so CI can gate every
+emitted line.
+
+Example — a well-formed span line validates cleanly, a broken one reports::
+
+    >>> line = {"event": "span", "schema": TRACE_SCHEMA, "name": "engine.run",
+    ...         "span_id": 1, "parent_id": None, "t_start": 0.5, "t_wall": 1.5,
+    ...         "dur": 0.25, "attrs": {"n": 96}, "pid": 7, "seq": 1}
+    >>> validate_trace_line(line)
+    []
+    >>> problems = validate_trace_line({"event": "span", "name": 3})
+    >>> problems[0]
+    'span.name must be a string'
+    >>> len(problems)  # name type + seven missing required fields
+    8
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+PathLike = Union[str, Path]
+
+#: Version stamp carried by every trace line and telemetry block.
+TRACE_SCHEMA = "repro.trace/v1"
+
+#: Fields every span line must carry (beyond ``event``).
+_SPAN_REQUIRED = ("name", "span_id", "t_start", "t_wall", "dur", "attrs", "pid", "seq")
+_RUN_REQUIRED = ("schema", "label", "pid", "started_wall")
+_METRICS_REQUIRED = ("schema", "pid", "metrics")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_span(line: Dict[str, Any], problems: List[str]) -> None:
+    if "name" in line and not isinstance(line["name"], str):
+        problems.append("span.name must be a string")
+    for field in _SPAN_REQUIRED:
+        if field not in line:
+            problems.append(f"span missing required field {field!r}")
+    if not isinstance(line.get("span_id"), int) and "span_id" in line:
+        problems.append("span.span_id must be an integer")
+    parent = line.get("parent_id")
+    if parent is not None and not isinstance(parent, int):
+        problems.append("span.parent_id must be an integer or null")
+    for field in ("t_start", "t_wall", "dur"):
+        if field in line and not _is_number(line[field]):
+            problems.append(f"span.{field} must be a number")
+    if _is_number(line.get("dur")) and line["dur"] < 0:
+        problems.append("span.dur must be non-negative")
+    if "attrs" in line and not isinstance(line["attrs"], dict):
+        problems.append("span.attrs must be an object")
+    if "seq" in line and not isinstance(line["seq"], int):
+        problems.append("span.seq must be an integer")
+
+
+def _check_run(line: Dict[str, Any], problems: List[str]) -> None:
+    for field in _RUN_REQUIRED:
+        if field not in line:
+            problems.append(f"run header missing required field {field!r}")
+    if "schema" in line and line["schema"] != TRACE_SCHEMA:
+        problems.append(
+            f"run header schema {line['schema']!r} != expected {TRACE_SCHEMA!r}"
+        )
+
+
+def _check_metrics(line: Dict[str, Any], problems: List[str]) -> None:
+    for field in _METRICS_REQUIRED:
+        if field not in line:
+            problems.append(f"metrics line missing required field {field!r}")
+    metrics = line.get("metrics")
+    if metrics is not None and not isinstance(metrics, dict):
+        problems.append("metrics.metrics must be an object")
+    elif isinstance(metrics, dict):
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics:
+                problems.append(f"metrics snapshot missing section {section!r}")
+
+
+def validate_trace_line(line: Any) -> List[str]:
+    """Return the list of schema problems for one parsed JSONL line.
+
+    An empty list means the line is valid.  Unknown ``event`` kinds are a
+    problem by design: the schema enumerates exactly what a trace may hold.
+    """
+    if not isinstance(line, dict):
+        return ["line is not a JSON object"]
+    event = line.get("event")
+    problems: List[str] = []
+    if event == "span":
+        _check_span(line, problems)
+    elif event == "run":
+        _check_run(line, problems)
+    elif event == "metrics":
+        _check_metrics(line, problems)
+    else:
+        problems.append(f"unknown event kind {event!r}")
+    return problems
+
+
+def validate_trace_file(path: PathLike) -> List[str]:
+    """Validate every line of one trace JSONL file; returns all problems.
+
+    Problems are prefixed ``line N:``.  Beyond per-line checks, the file
+    shape is enforced: a ``run`` header first, at least one line total, and
+    exactly one trailing ``metrics`` line.
+    """
+    path = Path(path)
+    problems: List[str] = []
+    events: List[str] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"unreadable trace file: {exc}"]
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return ["trace file is empty"]
+    for number, raw in enumerate(lines, start=1):
+        try:
+            parsed = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {number}: invalid JSON ({exc.msg})")
+            continue
+        events.append(parsed.get("event") if isinstance(parsed, dict) else None)
+        for problem in validate_trace_line(parsed):
+            problems.append(f"line {number}: {problem}")
+    if events and events[0] != "run":
+        problems.append("line 1: first line must be the 'run' header")
+    if events.count("run") != 1:
+        problems.append("trace must contain exactly one 'run' header")
+    if events and events[-1] != "metrics":
+        problems.append(f"line {len(lines)}: last line must be the 'metrics' snapshot")
+    if events.count("metrics") != 1:
+        problems.append("trace must contain exactly one 'metrics' line")
+    return problems
+
+
+def validate_trace_dir(directory: PathLike) -> List[Tuple[Path, List[str]]]:
+    """Validate every ``*.jsonl`` file under ``directory`` (sorted).
+
+    Returns ``(path, problems)`` pairs for all files; a directory with no
+    trace files reports one synthetic entry so callers cannot mistake
+    "nothing validated" for "all valid".
+    """
+    directory = Path(directory)
+    files = sorted(directory.glob("*.jsonl"))
+    if not files:
+        return [(directory, ["no *.jsonl trace files found"])]
+    return [(path, validate_trace_file(path)) for path in files]

@@ -1,0 +1,234 @@
+"""Contextvars-based span tracing with :func:`time.perf_counter` clocks.
+
+A :class:`Tracer` collects *finished* spans as plain dicts (the trace JSONL
+line form, see :mod:`repro.telemetry.schema`).  Instrumented code opens spans
+with the :func:`span` context manager — nesting is tracked through a context
+variable, so spans parent correctly across call boundaries without any
+threading of handles — or emits zero-duration :func:`event` marks for
+instants (a batched pass grant, for example).  Without an installed tracer
+both are near-free no-ops: one context-variable load and a branch.
+
+Durations come from :func:`clock` (``time.perf_counter``), the one monotonic
+clock the whole stack measures with; wall-clock timestamps ride along only to
+align spans across processes.
+
+Example — spans nest through the context, attrs attach mid-flight::
+
+    >>> tracer = Tracer()
+    >>> token = _TRACER.set(tracer)
+    >>> with span("outer", n=4):
+    ...     with span("inner") as active:
+    ...         active.set(rounds=2)
+    >>> _TRACER.reset(token)
+    >>> [(s["name"], s["parent_id"]) for s in tracer.spans]
+    [('inner', 1), ('outer', None)]
+    >>> tracer.spans[0]["attrs"]
+    {'rounds': 2}
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional
+
+#: The perf_counter clock every duration in the stack is measured with.
+clock = time.perf_counter
+
+#: Tracer spans are recorded into; ``None`` disables tracing entirely.
+_TRACER: "ContextVar[Optional[Tracer]]" = ContextVar(
+    "repro_telemetry_tracer", default=None
+)
+
+#: Span id of the innermost open span (parent for the next one opened).
+_PARENT: "ContextVar[Optional[int]]" = ContextVar(
+    "repro_telemetry_parent_span", default=None
+)
+
+
+def active_tracer() -> "Optional[Tracer]":
+    """The tracer spans currently record into, or ``None``."""
+    return _TRACER.get()
+
+
+class Tracer:
+    """Collects finished spans (dicts in trace-line form) for one session."""
+
+    def __init__(self) -> None:
+        self.spans: List[Dict[str, Any]] = []
+        self._next_id = 1
+        self._seq = 0
+
+    def new_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        span_id: int,
+        parent_id: Optional[int],
+        attrs: Dict[str, Any],
+        wall: float,
+    ) -> Dict[str, Any]:
+        """Append one finished span; returns the recorded dict."""
+        self._seq += 1
+        record = {
+            "event": "span",
+            "name": name,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "t_start": start,
+            "t_wall": wall,
+            "dur": duration,
+            "attrs": attrs,
+            "pid": os.getpid(),
+            "seq": self._seq,
+        }
+        self.spans.append(record)
+        return record
+
+    def add_span(
+        self,
+        name: str,
+        duration: float = 0.0,
+        parent_id: Optional[int] = None,
+        wall: Optional[float] = None,
+        **attrs: Any,
+    ) -> int:
+        """Record a manufactured span (known duration, no live timing).
+
+        Used by the executor for lifecycle spans whose endpoints straddle
+        processes — queue-wait (submit wall clock to worker start) and merge.
+        Returns the new span's id so children can attach to it.
+        """
+        span_id = self.new_id()
+        self.record(
+            name,
+            start=clock(),
+            duration=max(0.0, duration),
+            span_id=span_id,
+            parent_id=parent_id if parent_id is not None else _PARENT.get(),
+            attrs=attrs,
+            wall=wall if wall is not None else time.time(),
+        )
+        return span_id
+
+    def absorb(
+        self,
+        spans: List[Dict[str, Any]],
+        under: Optional[int] = None,
+        extra_attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Fold another tracer's span list (snapshot form) into this one.
+
+        Span ids are re-based past this tracer's counter so they stay unique;
+        internal parent links are preserved, and spans that were roots in the
+        source get ``under`` as their parent (``None`` keeps them roots).
+        ``extra_attrs`` is merged into every absorbed span's attrs — the
+        executor tags worker spans with their task key this way.
+        """
+        if not spans:
+            return
+        offset = self._next_id
+        max_id = 0
+        for source in spans:
+            span_id = source["span_id"] + offset
+            max_id = max(max_id, span_id)
+            parent = source.get("parent_id")
+            attrs = dict(source.get("attrs") or {})
+            if extra_attrs:
+                attrs.update(extra_attrs)
+            self._seq += 1
+            self.spans.append(
+                {
+                    **source,
+                    "span_id": span_id,
+                    "parent_id": parent + offset if parent is not None else under,
+                    "attrs": attrs,
+                    "seq": self._seq,
+                }
+            )
+        self._next_id = max_id + 1
+
+
+class ActiveSpan:
+    """Handle yielded by :func:`span`; supports attaching attrs mid-span."""
+
+    __slots__ = ("attrs", "span_id")
+
+    def __init__(self, span_id: int, attrs: Dict[str, Any]) -> None:
+        self.span_id = span_id
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) span attributes before the span closes."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """The no-op handle used when tracing is inactive."""
+
+    __slots__ = ()
+    span_id = None
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@contextmanager
+def span(name: str, **attrs: Any):
+    """Open a named span around a block; a no-op without an active tracer.
+
+    Attributes are JSON-serialisable key/values describing the work (counts,
+    sizes, indices — never timing, which the span itself carries).  The span
+    records its duration with :func:`clock` when the block exits, including
+    on exceptions.
+    """
+    tracer = _TRACER.get()
+    if tracer is None:
+        yield _NULL_SPAN
+        return
+    span_id = tracer.new_id()
+    parent_token = _PARENT.set(span_id)
+    handle = ActiveSpan(span_id, dict(attrs))
+    wall = time.time()
+    start = clock()
+    try:
+        yield handle
+    finally:
+        duration = clock() - start
+        _PARENT.reset(parent_token)
+        tracer.record(
+            name,
+            start=start,
+            duration=duration,
+            span_id=span_id,
+            parent_id=_PARENT.get(),
+            attrs=handle.attrs,
+            wall=wall,
+        )
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a zero-duration span marking an instant (e.g. a pass grant)."""
+    tracer = _TRACER.get()
+    if tracer is None:
+        return
+    tracer.record(
+        name,
+        start=clock(),
+        duration=0.0,
+        span_id=tracer.new_id(),
+        parent_id=_PARENT.get(),
+        attrs=attrs,
+        wall=time.time(),
+    )

@@ -13,6 +13,7 @@ import os
 import random
 from typing import List, Optional, Sequence, Union
 
+from repro.telemetry.metrics import add as _count
 from repro.utils.bitset import bitset_from_indices
 
 SeedLike = Union[None, int, random.Random, "RandomSource"]
@@ -134,42 +135,55 @@ class RandomSource:
         self._spawn_count = 0
 
     # -- delegation -----------------------------------------------------
+    # Every draw method reports its logical draw volume to the telemetry
+    # counter ``rng.draws`` (a no-op context-variable load when telemetry is
+    # off).  Counts are logical draws — one per scalar, the batch size for
+    # batched calls — not MT19937 word consumption.
     def random(self) -> float:
         """Return a float uniform in [0, 1)."""
+        _count("rng.draws")
         return self._rng.random()
 
     def randint(self, a: int, b: int) -> int:
         """Return an integer uniform in [a, b] inclusive."""
+        _count("rng.draws")
         return self._rng.randint(a, b)
 
     def randrange(self, start: int, stop: Optional[int] = None) -> int:
         """Return an integer from ``range(start, stop)``."""
+        _count("rng.draws")
         if stop is None:
             return self._rng.randrange(start)
         return self._rng.randrange(start, stop)
 
     def randbits(self, k: int) -> int:
         """Return an integer with k random bits."""
+        _count("rng.draws")
         return self._rng.getrandbits(k)
 
     def choice(self, seq):
         """Return a uniformly random element of a non-empty sequence."""
+        _count("rng.draws")
         return self._rng.choice(seq)
 
     def sample(self, population, k: int):
         """Return k distinct elements sampled without replacement."""
+        _count("rng.draws", k)
         return self._rng.sample(population, k)
 
     def shuffle(self, seq) -> None:
         """Shuffle a mutable sequence in place."""
+        _count("rng.draws", len(seq))
         self._rng.shuffle(seq)
 
     def uniform(self, a: float, b: float) -> float:
         """Return a float uniform in [a, b]."""
+        _count("rng.draws")
         return self._rng.uniform(a, b)
 
     def bernoulli(self, p: float) -> bool:
         """Return True with probability p."""
+        _count("rng.draws")
         return self._rng.random() < p
 
     def random_batch(self, count: int) -> list:
@@ -183,6 +197,7 @@ class RandomSource:
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
+        _count("rng.draws", count)
         if count >= _BATCH_NUMPY_MIN:
             draws = _batch_floats_numpy(self._rng, count)
             if draws is not None:
@@ -203,11 +218,15 @@ class RandomSource:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         if count >= _BATCH_NUMPY_MIN:
-            return _batch_floats_numpy(self._rng, count)
+            draws = _batch_floats_numpy(self._rng, count)
+            if draws is not None:
+                _count("rng.draws", count)
+            return draws
         return None
 
     def permutation(self, n: int) -> list:
         """Return a uniformly random permutation of range(n)."""
+        _count("rng.draws", n)
         order = list(range(n))
         self._rng.shuffle(order)
         return order
@@ -218,6 +237,7 @@ class RandomSource:
             raise ValueError(
                 f"cannot sample {size} elements from a universe of {universe_size}"
             )
+        _count("rng.draws", size)
         return frozenset(self._rng.sample(range(universe_size), size))
 
     def subset_mask(self, universe_size: int, size: int) -> int:
@@ -233,11 +253,13 @@ class RandomSource:
             raise ValueError(
                 f"cannot sample {size} elements from a universe of {universe_size}"
             )
+        _count("rng.draws", size)
         return bitset_from_indices(self._rng.sample(range(universe_size), size))
 
     # -- spawning -------------------------------------------------------
     def spawn(self) -> "RandomSource":
         """Return a new independent RandomSource derived from this one."""
+        _count("rng.spawns")
         self._spawn_count += 1
         child_seed = self._rng.getrandbits(64) ^ (self._spawn_count * 0x9E3779B97F4A7C15)
         return RandomSource(child_seed & ((1 << 64) - 1))

@@ -27,6 +27,13 @@ AUDITED_MODULES = [
         "repro.kernels.numpy_backend",
         marks=pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy"),
     ),
+    "repro.telemetry",
+    "repro.telemetry.instrument",
+    "repro.telemetry.metrics",
+    "repro.telemetry.profiling",
+    "repro.telemetry.schema",
+    "repro.telemetry.session",
+    "repro.telemetry.spans",
     "repro.analysis",
     "repro.analysis.bench",
     "repro.analysis.figures",
