@@ -1,0 +1,223 @@
+"""Chaos gate and overhead gate for the resilience layer (``repro.resilience``).
+
+Two promises, both measured instead of trusted:
+
+1. **Chaos parity** — the 48-cell ADV grid, run across worker processes
+   under a seeded fault schedule (worker crashes, torn store writes,
+   transient mid-pass failures), produces a result store *byte-identical*
+   to a clean serial run.  Failures cost retries, respawns, and quarantined
+   files — never bytes.
+
+2. **Overhead** — with the fault machinery present but inactive (a plan with
+   zero-rate rules: every injection point consulted, nothing ever fires),
+   the executor workload stays within ``--max-overhead`` (default 1.05×) of
+   the machinery-off run, using :func:`repro.telemetry.measure_overhead`'s
+   methodology: paired rounds with alternating order, per-mode median.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py            # full ADV grid
+    PYTHONPATH=src python benchmarks/bench_resilience.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from statistics import median
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.resilience import fault_plan_active, parse_fault_spec, run_chaos
+from repro.runtime import ResultStore, TaskExecutor, get_scenario, tasks_from_scenario
+from repro.telemetry.spans import clock
+
+#: The CI chaos schedule: a seeded 20% worker-crash rate plus torn store
+#: writes and transient mid-pass failures (until=1 keeps every rule
+#: clearable by one retry, so the run always terminates).
+CHAOS_SPEC = (
+    "seed=20,executor.submit:crash:0.2,store.put:torn:0.25,engine.pass:raise:0.1"
+)
+
+#: A plan whose rules can never fire: every injection point evaluates its
+#: decision (the machinery-on cost) but no fault ever happens.
+ZERO_RATE_SPEC = (
+    "seed=1,executor.submit:raise:0,store.put:torn:0,engine.pass:raise:0"
+)
+
+
+def _overhead_workload(root: Path):
+    """One executor run over a compute-heavy grid, against a fresh store.
+
+    Sized so a round takes ~100ms: per-put/per-task machinery costs are
+    roughly constant, so a tiny workload over-states the overhead fraction a
+    real grid run would see (and amplifies timing noise against the 5%
+    budget) — the same sizing argument as ``bench_telemetry_overhead``.
+    """
+    from repro.runtime import RuntimeTask, freeze_params
+
+    tasks = [
+        RuntimeTask(
+            key=f"E12[t={t},seed={seed}]",
+            runner="E12",
+            params=freeze_params({"t": t}),
+            seed=seed,
+        )
+        for t in (5, 6)
+        for seed in (1, 2)
+    ]
+    counter = {"round": 0}
+
+    def workload() -> None:
+        counter["round"] += 1
+        store = ResultStore(root / f"run{counter['round']}")
+        TaskExecutor(workers=1, store=store).run(list(tasks))
+
+    return workload
+
+
+def measure_resilience_overhead(repeats: int = 15) -> Dict[str, float]:
+    """Median per-round machinery-on / machinery-off ratio over paired rounds.
+
+    Mirrors ``repro.telemetry.measure_overhead``'s pairing: the two modes run
+    back-to-back each round with the order alternating (whichever runs second
+    inherits warmer caches).  The gate statistic is the *median of per-round
+    ratios* rather than the ratio of per-mode medians: the two legs of a round
+    share the machine's load at that moment, so a slow round inflates both
+    legs and cancels in the ratio, while a one-leg spike is discarded by the
+    median across rounds.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    plan = parse_fault_spec(ZERO_RATE_SPEC)
+    with tempfile.TemporaryDirectory(prefix="repro-resilience-bench-") as tmp:
+        workload = _overhead_workload(Path(tmp))
+
+        def machinery_off() -> float:
+            start = clock()
+            with fault_plan_active(None):
+                workload()
+            return clock() - start
+
+        def machinery_on() -> float:
+            start = clock()
+            with fault_plan_active(plan):
+                workload()
+            return clock() - start
+
+        machinery_off()  # warmup, both modes
+        machinery_on()
+        off_times: List[float] = []
+        on_times: List[float] = []
+        ratios: List[float] = []
+        for round_index in range(repeats):
+            if round_index % 2:
+                on_s = machinery_on()
+                off_s = machinery_off()
+            else:
+                off_s = machinery_off()
+                on_s = machinery_on()
+            off_times.append(off_s)
+            on_times.append(on_s)
+            ratios.append(on_s / off_s if off_s > 0 else 1.0)
+    return {
+        "off_s": median(off_times),
+        "on_s": median(on_times),
+        "ratio": median(ratios),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one ADV workload slice instead of the full 48-cell grid",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="workers for the chaos leg (default 4)"
+    )
+    parser.add_argument(
+        "--faults", default=CHAOS_SPEC, help="fault schedule for the chaos leg"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=15,
+        help="paired off/on overhead rounds, median-of-N (default 15)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=1.05,
+        help="fail when machinery-on / machinery-off exceeds this ratio "
+        "(default 1.05; pass 0 to disable the gate)",
+    )
+    parser.add_argument(
+        "--skip-overhead", action="store_true", help="run only the chaos parity leg"
+    )
+    parser.add_argument(
+        "--output", default=None, help="optionally write the measurement as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = (
+        [
+            "ADV[algorithm=algorithm1,order=adversarial,workload=random]",
+            "ADV[algorithm=algorithm1,order=random,workload=coverage]",
+        ]
+        if args.quick
+        else ["adversarial"]
+    )
+    chaos = run_chaos(
+        scenarios, faults=args.faults, workers=args.workers
+    )
+    print(chaos.render())
+
+    payload: Dict[str, object] = {
+        "schema": "bench_resilience/v1",
+        "scenarios": list(scenarios),
+        "tasks": chaos.tasks,
+        "workers": chaos.workers,
+        "fault_spec": chaos.fault_spec,
+        "parity": chaos.parity,
+        "quarantined": chaos.quarantined,
+        "counters": chaos.counters,
+    }
+
+    failed = not chaos.parity
+    gate = args.max_overhead if args.max_overhead > 0 else None
+    if not args.skip_overhead:
+        overhead = measure_resilience_overhead(repeats=args.repeats)
+        payload["overhead"] = overhead
+        print(
+            f"overhead: off={overhead['off_s'] * 1e3:.1f}ms  "
+            f"on={overhead['on_s'] * 1e3:.1f}ms  ratio={overhead['ratio']:.3f}"
+        )
+        if gate is not None:
+            payload["max_overhead"] = gate
+            if overhead["ratio"] > gate:
+                print(
+                    f"FAIL: resilience overhead {overhead['ratio']:.3f}x "
+                    f"> allowed {gate:.2f}x",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(f"overhead gate passed: {overhead['ratio']:.3f}x <= {gate:.2f}x")
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+
+    if not chaos.parity:
+        print("FAIL: chaos store differs from the clean serial run", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -268,11 +268,19 @@ def _telemetry_blocks(analysis: StoreAnalysis) -> List[Block]:
         stats = analysis.store_stats
         blocks.append(
             TableBlock(
-                headers=["hits", "misses", "puts", "skips"],
-                rows=[[stats["hits"], stats["misses"], stats["puts"], stats["skips"]]],
+                headers=["hits", "misses", "puts", "skips", "quarantined"],
+                rows=[[
+                    stats["hits"],
+                    stats["misses"],
+                    stats["puts"],
+                    stats["skips"],
+                    stats.get("quarantined", 0),
+                ]],
                 caption=(
                     "Cumulative result-store activity persisted in "
-                    "`store_stats.json` (all runs against this store)."
+                    "`store_stats.json` and the per-writer stats journal "
+                    "(all runs against this store); `quarantined` counts "
+                    "corrupt entries moved aside and recomputed."
                 ),
             )
         )

@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run adversarial --workers 4 --store /tmp/rstore
     python -m repro.cli scenarios --tag adversarial
     python -m repro.cli report /tmp/rstore --html report/
+    python -m repro.cli chaos adversarial --workers 4
+    python -m repro.cli run E1 --workers 4 --faults seed=7,executor.submit:crash:0.2
 
 The CLI is a thin wrapper over :mod:`repro.experiments` and
 :mod:`repro.runtime`: it resolves experiment/scenario ids, runs them — in
@@ -103,6 +105,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="capture telemetry and write a trace JSONL file to DIR "
         "(also honoured via the REPRO_TRACE environment variable)",
+    )
+    run_parser.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="activate a deterministic fault-injection plan, e.g. "
+        "'seed=7,executor.submit:crash:0.2' (also honoured via REPRO_FAULTS)",
+    )
+    run_parser.add_argument(
+        "--retry",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="override the retry policy, e.g. 'attempts=5,timeout=30' "
+        "(also honoured via REPRO_RETRY)",
+    )
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run scenarios under a seeded fault schedule and assert the "
+        "result store is byte-identical to a clean serial run",
+    )
+    chaos_parser.add_argument(
+        "scenarios",
+        nargs="+",
+        help="scenario names, experiment ids, or tags (e.g. adversarial)",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=None, help="override the scenario seeds"
+    )
+    chaos_parser.add_argument(
+        "--workers", type=_positive_int, default=4,
+        help="worker processes for the chaos leg (default: 4)",
+    )
+    chaos_parser.add_argument(
+        "--faults", type=str, default=None, metavar="SPEC",
+        help="fault plan for the chaos leg (default: a crash/torn/raise mix)",
+    )
+    chaos_parser.add_argument(
+        "--retry", type=str, default=None, metavar="SPEC",
+        help="retry-policy override for the chaos leg",
+    )
+    chaos_parser.add_argument(
+        "--root", type=str, default=None, metavar="DIR",
+        help="keep the clean/chaos stores under DIR for inspection "
+        "(default: a temporary directory, removed afterwards)",
     )
 
     validate_parser = subparsers.add_parser(
@@ -327,6 +376,27 @@ def _report_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_command(args: argparse.Namespace) -> int:
+    """Implement ``chaos``: run under faults, diff against a clean run."""
+    from repro.resilience import run_chaos
+
+    try:
+        report = run_chaos(
+            args.scenarios,
+            faults=args.faults,
+            seed=args.seed,
+            workers=args.workers,
+            retry=args.retry,
+            root=args.root,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+    print(report.render())
+    if args.root:
+        print(f"stores kept under: {args.root}")
+    return 0 if report.parity else 1
+
+
 def _validate_trace_command(path_arg: str) -> int:
     """Implement ``validate-trace``: check JSONL files against the schema."""
     from repro.telemetry import validate_trace_dir, validate_trace_file
@@ -361,6 +431,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "report":
         return _report_command(args)
 
+    if args.command == "chaos":
+        return _chaos_command(args)
+
     if args.command == "validate-trace":
         return _validate_trace_command(args.path)
 
@@ -374,6 +447,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _scenarios_command(args.name, args.tag)
 
     use_runtime = args.workers > 1 or args.store is not None
+    env_overrides = {}
+    if args.faults or args.retry:
+        from repro.resilience import (
+            FAULTS_ENV_VAR,
+            RETRY_ENV_VAR,
+            parse_fault_spec,
+            parse_retry_spec,
+        )
+
+        try:
+            if args.faults:
+                parse_fault_spec(args.faults)  # fail fast on a bad spec
+                env_overrides[FAULTS_ENV_VAR] = args.faults
+            if args.retry:
+                parse_retry_spec(args.retry)
+                env_overrides[RETRY_ENV_VAR] = args.retry
+        except ValueError as exc:
+            raise SystemExit(str(exc))
     experiment_ids = resolve_experiment_ids(args.experiments, allow_scenarios=True)
     if any(eid not in EXPERIMENT_REGISTRY for eid in experiment_ids):
         # Scenario/grid names only exist in the runtime registry; route the
@@ -381,16 +472,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         use_runtime = True
 
     def _execute() -> List[ExperimentResult]:
-        if use_runtime:
-            return run_experiments_runtime(
-                experiment_ids,
-                seed=args.seed,
-                workers=args.workers,
-                store_dir=args.store,
-                chunksize=args.chunksize,
-                quiet=args.quiet,
-            )
-        return run_experiments(experiment_ids, seed=args.seed, quiet=args.quiet)
+        # Fault/retry specs travel via the environment so pool workers
+        # inherit them; restored afterwards to keep the process reusable.
+        saved = {var: os.environ.get(var) for var in env_overrides}
+        os.environ.update(env_overrides)
+        try:
+            if use_runtime:
+                return run_experiments_runtime(
+                    experiment_ids,
+                    seed=args.seed,
+                    workers=args.workers,
+                    store_dir=args.store,
+                    chunksize=args.chunksize,
+                    quiet=args.quiet,
+                )
+            return run_experiments(experiment_ids, seed=args.seed, quiet=args.quiet)
+        finally:
+            for var, value in saved.items():
+                if value is None:
+                    os.environ.pop(var, None)
+                else:
+                    os.environ[var] = value
 
     from repro.telemetry import trace_dir_from_env
 

@@ -37,6 +37,69 @@ class PassBudgetExceededError(ReproError):
         self.budget = budget
 
 
+class TransientTaskError(ReproError):
+    """Base class for failures that are safe to retry.
+
+    A transient failure means the *attempt* was lost, not that the task is
+    wrong: re-executing the same task with the same inputs is expected to
+    succeed and — because every task is a pure function of its inputs —
+    produces a byte-identical payload.  The retry machinery in
+    :mod:`repro.resilience.policy` retries exactly this hierarchy and lets
+    every other exception propagate unchanged.
+    """
+
+
+class InjectedFaultError(TransientTaskError):
+    """Raised by the fault-injection framework at an armed injection point."""
+
+    def __init__(self, site: str, key: str, kind: str = "raise", attempt: int = 0) -> None:
+        super().__init__(
+            f"injected fault at {site} (key={key!r}, kind={kind}, attempt={attempt})"
+        )
+        self.site = site
+        self.key = key
+        self.kind = kind
+        self.attempt = attempt
+
+
+class WorkerLostError(TransientTaskError):
+    """Raised when a worker process died or timed out mid-task.
+
+    The executor normally absorbs these by respawning the pool and
+    re-executing only the lost tasks; it surfaces only when the retry
+    budget is exhausted.
+    """
+
+    def __init__(self, message: str, tasks: int = 0) -> None:
+        super().__init__(message)
+        self.tasks = tasks
+
+
+class PayloadIntegrityError(TransientTaskError):
+    """Raised when a task payload fails its end-to-end checksum.
+
+    Payloads crossing the worker boundary under fault injection carry a
+    checksum of their canonical JSON; a mismatch means the bytes were
+    corrupted in flight and the task must be recomputed, never merged.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """Raised when a circuit breaker refuses further attempts.
+
+    The breaker opens after a configured number of *consecutive* failures,
+    turning an endless retry storm into a fast, explicit failure.
+    """
+
+    def __init__(self, failures: int, threshold: int) -> None:
+        super().__init__(
+            f"circuit open after {failures} consecutive failures "
+            f"(threshold {threshold})"
+        )
+        self.failures = failures
+        self.threshold = threshold
+
+
 class ProtocolError(ReproError):
     """Raised when a communication protocol is driven in an invalid way."""
 

@@ -31,6 +31,7 @@ from repro.baselines import (
 )
 from repro.core.algorithm1 import AlgorithmOneConfig, StreamingSetCover
 from repro.exceptions import InfeasibleInstanceError, SpaceBudgetExceededError
+from repro.resilience.degrade import record_degradation
 from repro.experiments.harness import ExperimentResult
 from repro.setcover.greedy import greedy_set_cover
 from repro.setcover.instance import SetCoverInstance
@@ -193,6 +194,12 @@ def run_workload_sweep(
         feasible = False
         passes = None
         space = runner.space.report()
+        record_degradation(
+            "outcome_row",
+            reason="space budget exceeded",
+            workload=workload,
+            algorithm=algorithm,
+        )
     except InfeasibleInstanceError:
         # A θ=0 hard instance can be uncoverable outright; algorithms with
         # offline sub-solves surface that as an exception.  It is a workload
@@ -202,6 +209,12 @@ def run_workload_sweep(
         feasible = False
         passes = None
         space = runner.space.report()
+        record_degradation(
+            "outcome_row",
+            reason="instance uncoverable",
+            workload=workload,
+            algorithm=algorithm,
+        )
 
     table = Table(
         [

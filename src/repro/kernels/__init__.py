@@ -116,9 +116,26 @@ def make_kernel(
     """
     resolved = resolve_backend(backend, universe_size=universe_size, num_sets=len(masks))
     if resolved == "numpy":
-        from repro.kernels.numpy_backend import NumpyKernel
+        # Degradation ladder, first rung: a NumPy backend that fails to
+        # build (broken install, injected kernel.make fault) falls back to
+        # the pure-Python kernel — the two are bit-identical by the parity
+        # suites, so the fallback costs wall-clock, never bytes.
+        try:
+            from repro.resilience.faults import inject
 
-        kernel: Kernel = NumpyKernel(universe_size, masks, packed=packed)
+            inject("kernel.make", key=f"numpy:{universe_size}x{len(masks)}")
+            from repro.kernels.numpy_backend import NumpyKernel
+
+            kernel: Kernel = NumpyKernel(universe_size, masks, packed=packed)
+        except Exception as exc:
+            from repro.resilience.degrade import record_degradation
+
+            record_degradation(
+                "kernel_backend",
+                reason=f"{type(exc).__name__}: {exc}",
+                backend="numpy",
+            )
+            kernel = PyIntKernel(universe_size, masks)
     else:
         kernel = PyIntKernel(universe_size, masks)
     # Wrap in the metering proxy only while telemetry capture is active, so

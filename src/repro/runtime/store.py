@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result store for experiment runs.
+"""Content-addressed, crash-safe on-disk result store for experiment runs.
 
 Every :class:`~repro.runtime.tasks.RuntimeTask` has a *fingerprint*: the
 SHA-256 of the canonical JSON of ``(format version, runner, params, seed)``.
@@ -8,8 +8,21 @@ are unchanged — resume semantics for long benchmark sweeps come for free.
 
 Invalidation is structural: changing any input changes the fingerprint, and
 bumping :data:`STORE_FORMAT_VERSION` (when the stored payload shape changes)
-orphans every old entry.  Corrupt or mismatched entries read as misses and
-are overwritten by the recomputed result.
+orphans every old entry.
+
+Durability discipline (``repro.resilience``):
+
+* **Atomic writes** — entries and stats go through tmp-file + ``os.replace``,
+  so a crashed or torn writer never leaves a truncated file at a final path;
+* **Checksums** — each entry carries the SHA-256 of its own canonical JSON;
+  a corrupt entry (truncated, bit-flipped, mismatched) reads as a miss, is
+  moved to the ``quarantine/`` directory (counted, never fatal), and is
+  recomputed by the caller like any other miss;
+* **Journaled stats** — hit/miss/put/skip/quarantine totals persist through
+  per-writer journal files (each writer atomically rewrites only its own
+  file), so concurrent runs against one store never lose counts to a
+  read-modify-write race; :func:`read_store_stats` folds the legacy
+  ``store_stats.json`` base together with every journal.
 
 Example — miss, put, hit::
 
@@ -22,10 +35,11 @@ Example — miss, put, hit::
     >>> _ = store.put(task, {"answer": 42})
     >>> store.get(task)
     {'answer': 42}
-    >>> (store.hits, store.misses, store.puts, store.skips)
-    (1, 1, 1, 0)
-    >>> read_store_stats(store.flush_stats().parent)
-    {'hits': 1, 'misses': 1, 'puts': 1, 'skips': 0}
+    >>> (store.hits, store.misses, store.puts, store.skips, store.quarantined)
+    (1, 1, 1, 0, 0)
+    >>> _ = store.flush_stats()
+    >>> read_store_stats(store.root)
+    {'hits': 1, 'misses': 1, 'puts': 1, 'skips': 0, 'quarantined': 0}
 """
 
 from __future__ import annotations
@@ -37,39 +51,63 @@ import uuid
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.exceptions import ReproError
+from repro.resilience.durability import (
+    StatsJournal,
+    atomic_write_json,
+    entry_checksum,
+    sum_journals,
+)
+from repro.resilience.faults import faults_enabled, inject
+from repro.resilience.policy import policy_from_env
 from repro.runtime.tasks import RuntimeTask
 from repro.telemetry.metrics import add as _count
+from repro.telemetry.spans import event
 
 PathLike = Union[str, Path]
 
 #: Bump when the stored payload layout changes incompatibly.  The optional
-#: ``telemetry`` block added alongside ``result`` is additive (old readers
-#: ignore it, old entries simply lack it), so it does not bump the format.
+#: ``telemetry`` and ``checksum`` fields added alongside ``result`` are
+#: additive (old readers ignore them, old entries simply lack them), so they
+#: do not bump the format.
 STORE_FORMAT_VERSION = 1
 
-#: Filename of the persisted hit/miss/put/skip totals at the store root.
-#: Lives outside the two-hex shard directories so ``*/*.json`` entry globs
-#: never see it.
+#: Filename of the legacy persisted totals at the store root.  New activity
+#: is journaled per writer (see ``stats_journal/``); this file still counts
+#: as the base so stores written by older versions keep their history.
 STORE_STATS_FILENAME = "store_stats.json"
 
-#: The counter names persisted in the stats file, in canonical order.
-_STAT_KEYS = ("hits", "misses", "puts", "skips")
+#: Directory corrupt entries are moved into (never deleted: quarantined bytes
+#: are evidence).  The ``.quarantined`` suffix keeps them out of entry globs.
+QUARANTINE_DIRNAME = "quarantine"
+
+#: The counter names persisted in stats journals, in canonical order.
+_STAT_KEYS = ("hits", "misses", "puts", "skips", "quarantined")
 
 
 def read_store_stats(root: PathLike) -> Optional[Dict[str, int]]:
-    """Read the persisted store stats at ``root``, or ``None`` if absent.
+    """Aggregate persisted store stats at ``root``, or ``None`` if absent.
 
-    The result always carries all four keys (missing ones read as 0);
-    unreadable or corrupt files read as absent.
+    Sums the legacy ``store_stats.json`` base (when present) with every
+    per-writer journal file.  The result always carries all keys (missing
+    ones read as 0); unreadable files are skipped, and ``None`` is returned
+    only when neither a base file nor any journal exists.
     """
-    path = Path(root) / STORE_STATS_FILENAME
+    root = Path(root)
+    base: Optional[Dict[str, int]] = None
     try:
-        raw = json.loads(path.read_text())
+        raw = json.loads((root / STORE_STATS_FILENAME).read_text())
+        if isinstance(raw, dict):
+            base = {key: int(raw.get(key, 0)) for key in _STAT_KEYS}
     except (OSError, json.JSONDecodeError):
-        return None
-    if not isinstance(raw, dict):
-        return None
-    return {key: int(raw.get(key, 0)) for key in _STAT_KEYS}
+        base = None
+    totals = sum_journals(root, keys=_STAT_KEYS, base=base)
+    if base is None and totals == {key: 0 for key in _STAT_KEYS}:
+        from repro.resilience.durability import iter_journal_files
+
+        if not list(iter_journal_files(root)):
+            return None
+    return totals
 
 
 def task_fingerprint(task: RuntimeTask) -> str:
@@ -77,6 +115,10 @@ def task_fingerprint(task: RuntimeTask) -> str:
     payload = dict(task.fingerprint_payload(), format=STORE_FORMAT_VERSION)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class StoreWriteError(ReproError):
+    """Raised when an entry could not be durably written within the retry budget."""
 
 
 class ResultStore:
@@ -89,13 +131,17 @@ class ResultStore:
         self.misses = 0
         self.puts = 0
         self.skips = 0
-        # Totals already flushed to disk this session, so flush_stats adds
-        # only the delta and repeated flushes never double count.
-        self._flushed = {key: 0 for key in _STAT_KEYS}
+        self.quarantined = 0
+        self._journal = StatsJournal(self.root, keys=_STAT_KEYS)
 
     def path_for(self, fingerprint: str) -> Path:
         """Where the entry for ``fingerprint`` lives (may not exist)."""
         return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved (exists only after a quarantine)."""
+        return self.root / QUARANTINE_DIRNAME
 
     def get(self, task: RuntimeTask) -> Optional[Dict[str, Any]]:
         """Return the stored result payload for ``task``, or ``None`` on miss."""
@@ -120,16 +166,57 @@ class ResultStore:
         return entry
 
     def _valid_entry(self, task: RuntimeTask) -> Optional[Dict[str, Any]]:
-        """Load and validate the entry for ``task`` (no counter side effects)."""
+        """Load and validate the entry for ``task``.
+
+        Corruption — unreadable JSON, a checksum mismatch, or a fingerprint
+        that does not match the entry's path — quarantines the file and reads
+        as a miss, so the caller recomputes; a format-version mismatch is
+        plain invalidation (old-but-intact bytes), also a miss but left in
+        place for :data:`STORE_FORMAT_VERSION` bumps to orphan cheaply.
+        Only hit/miss counters are the caller's business; quarantines count
+        themselves.
+        """
         fingerprint = task_fingerprint(task)
-        entry = self._load(self.path_for(fingerprint))
-        if (
-            entry is None
-            or entry.get("fingerprint") != fingerprint
-            or entry.get("format") != STORE_FORMAT_VERSION
-        ):
+        path = self.path_for(fingerprint)
+        entry = self._load(path)
+        if entry is None:
+            if path.exists():
+                self.quarantine(path, reason="unreadable")
+            return None
+        if not isinstance(entry, dict):
+            self.quarantine(path, reason="malformed")
+            return None
+        checksum = entry.get("checksum")
+        if checksum is not None and checksum != entry_checksum(entry):
+            self.quarantine(path, reason="checksum")
+            return None
+        if entry.get("fingerprint") != fingerprint:
+            self.quarantine(path, reason="fingerprint")
+            return None
+        if entry.get("format") != STORE_FORMAT_VERSION:
             return None
         return entry
+
+    def quarantine(self, path: Path, reason: str = "corrupt") -> Optional[Path]:
+        """Move a corrupt entry file into ``quarantine/`` (never fatal).
+
+        The quarantined name keeps the original filename plus the reason and
+        a unique suffix, so repeated corruption of one fingerprint preserves
+        every generation of bad bytes for post-mortems.  Returns the new
+        path, or ``None`` when the file vanished first (a concurrent reader
+        already moved it — their quarantine is as good as ours).
+        """
+        target_dir = self.quarantine_dir
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / f"{path.name}.{reason}.{uuid.uuid4().hex[:8]}.quarantined"
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        self.quarantined += 1
+        _count("store.quarantined")
+        event("store.quarantine", entry=path.name, reason=reason)
+        return target
 
     def put(
         self,
@@ -137,16 +224,23 @@ class ResultStore:
         result_payload: Dict[str, Any],
         telemetry: Optional[Dict[str, Any]] = None,
     ) -> Path:
-        """Persist a computed result; returns the entry path.
+        """Persist a computed result durably; returns the entry path.
 
         ``telemetry`` optionally attaches the computing run's summarized
         telemetry block *alongside* the result — it is never part of
-        ``result`` or of the fingerprint, so captured and uncaptured runs
-        store byte-identical result payloads.
+        ``result``, of the fingerprint, or of the checksum's payload
+        semantics, so captured and uncaptured runs store byte-identical
+        result payloads.
+
+        Writes are atomic (unique tmp file + ``os.replace``), so a crashed
+        run never leaves a truncated entry at the final path and concurrent
+        writers of one task each rename their own complete file.  Under
+        active fault injection (``store.put`` torn-write faults) each write
+        is also verified by reading the entry back; a torn entry is
+        quarantined and rewritten within the ambient retry budget.
         """
         fingerprint = task_fingerprint(task)
         path = self.path_for(fingerprint)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "format": STORE_FORMAT_VERSION,
             "fingerprint": fingerprint,
@@ -156,17 +250,37 @@ class ResultStore:
         }
         if telemetry is not None:
             entry["telemetry"] = telemetry
+        entry["checksum"] = entry_checksum(entry)
         self.puts += 1
         _count("store.puts")
-        # Write-then-rename so a crashed run never leaves a truncated entry
-        # in place.  The tmp name is per-process-unique: concurrent writers
-        # of the same task (two CLI runs sharing a store) each rename their
-        # own complete file, so the final entry is always whole regardless
-        # of which writer wins.
-        tmp_path = path.parent / f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
-        tmp_path.write_text(json.dumps(entry, indent=2, sort_keys=True))
-        tmp_path.replace(path)
-        return path
+        if not faults_enabled():
+            return atomic_write_json(path, entry)
+        # Fault-injection path: simulate torn writes and verify each attempt
+        # end to end.  Bounded by the ambient retry policy; rule defaults
+        # (until=1) guarantee the first retry lands a clean write.
+        max_attempts = max(2, policy_from_env().max_attempts)
+        for attempt in range(max_attempts):
+            kind = inject("store.put", key=fingerprint, attempt=attempt)
+            if kind == "torn":
+                # A torn write is a non-atomic writer dying mid-stream: the
+                # final path ends up with a truncated prefix of the entry.
+                text = json.dumps(entry, indent=2, sort_keys=True)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(text[: max(1, len(text) // 2)])
+            else:
+                atomic_write_json(path, entry)
+            written = self._load(path)
+            if (
+                isinstance(written, dict)
+                and written.get("checksum") == written_checksum(written)
+            ):
+                return path
+            self.quarantine(path, reason="torn-put")
+            _count("store.put_retries")
+        raise StoreWriteError(
+            f"entry {fingerprint[:16]}… failed verification after "
+            f"{max_attempts} write attempts"
+        )
 
     def record_skip(self) -> None:
         """Count one task whose computation was skipped (served from cache)."""
@@ -180,27 +294,19 @@ class ResultStore:
             "misses": self.misses,
             "puts": self.puts,
             "skips": self.skips,
+            "quarantined": self.quarantined,
         }
 
     def flush_stats(self) -> Path:
-        """Fold this session's counts into the persisted stats file.
+        """Persist this session's counts through the writer's stats journal.
 
-        Cumulative across runs: the on-disk totals gain only the counts not
-        yet flushed this session, so calling flush repeatedly (or from
-        several sequential runs against the same store) never double counts.
-        Written atomically (write-then-rename) like entries.  Returns the
-        stats file path.
+        Atomically rewrites only *this writer's* journal file with the
+        session's cumulative totals — idempotent under repeated flushes and
+        race-free under concurrent writers, because no two writers share a
+        journal path.  :func:`read_store_stats` aggregates the journals with
+        the legacy ``store_stats.json`` base.  Returns the journal path.
         """
-        current = self.stats()
-        totals = read_store_stats(self.root) or {key: 0 for key in _STAT_KEYS}
-        for key in _STAT_KEYS:
-            totals[key] += current[key] - self._flushed[key]
-        self._flushed = current
-        path = self.root / STORE_STATS_FILENAME
-        tmp_path = path.parent / f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
-        tmp_path.write_text(json.dumps(totals, indent=2, sort_keys=True))
-        tmp_path.replace(path)
-        return path
+        return self._journal.write(self.stats())
 
     def __contains__(self, task: RuntimeTask) -> bool:
         return self._valid_entry(task) is not None
@@ -225,3 +331,8 @@ class ResultStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore(root={str(self.root)!r}, hits={self.hits}, misses={self.misses})"
+
+
+def written_checksum(entry: Dict[str, Any]) -> str:
+    """The checksum a just-written entry should carry (read-back validation)."""
+    return entry_checksum(entry)

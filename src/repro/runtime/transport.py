@@ -64,8 +64,32 @@ class SharedSystemHandle:
 
         The worker-side entry point.  The segment is detached before
         returning (the rebuilt system owns its own buffer), so loads never
-        pin the publisher's memory.
+        pin the publisher's memory.  Under active fault injection the
+        ``transport.attach`` point is evaluated per attempt and transient
+        attach failures retry under the ambient policy — an attach never
+        mutates anything, so retrying is free of side effects.
         """
+        from repro.resilience.faults import current_attempt, faults_enabled, inject
+
+        if not faults_enabled():
+            return self._attach_and_rebuild()
+
+        from repro.resilience.policy import policy_from_env, retry_call
+
+        def attach_once(relative: int) -> SetSystem:
+            inject(
+                "transport.attach",
+                key=self.segment,
+                attempt=current_attempt() + relative,
+            )
+            return self._attach_and_rebuild()
+
+        return retry_call(
+            attach_once, policy=policy_from_env(), path=("attach", self.segment)
+        )
+
+    def _attach_and_rebuild(self) -> SetSystem:
+        """One attach attempt: copy the buffer out, detach, rebuild."""
         from multiprocessing import shared_memory
 
         block = shared_memory.SharedMemory(name=self.segment)

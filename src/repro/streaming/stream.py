@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.resilience.faults import inject
 from repro.setcover.instance import SetSystem
 from repro.telemetry import metrics
 from repro.telemetry.spans import event
@@ -104,6 +105,7 @@ class SetStream:
         caller exhausts the iterator (a conservative accounting choice: partial
         passes still cost a pass, as they would in the streaming model).
         """
+        inject("engine.pass", key=f"iterate:{self._passes_consumed + 1}")
         self._passes_consumed += 1
         # A zero-duration event rather than a span: this is a generator, and
         # holding a span open across yields would leak its parent token into
@@ -129,6 +131,7 @@ class SetStream:
         streaming model's accounting identical to the per-set loop.  Arrival
         order, where it matters, comes from :attr:`arrival_order`.
         """
+        inject("engine.pass", key=f"batched:{self._passes_consumed + 1}")
         self._passes_consumed += 1
         event(
             "stream.pass",

@@ -27,6 +27,12 @@ AUDITED_MODULES = [
         "repro.kernels.numpy_backend",
         marks=pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy"),
     ),
+    "repro.resilience",
+    "repro.resilience.chaos",
+    "repro.resilience.degrade",
+    "repro.resilience.durability",
+    "repro.resilience.faults",
+    "repro.resilience.policy",
     "repro.telemetry",
     "repro.telemetry.instrument",
     "repro.telemetry.metrics",

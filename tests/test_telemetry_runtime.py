@@ -74,6 +74,7 @@ class TestStoreStatsPersistence:
         stats = read_store_stats(tmp_path)
         assert stats == {
             "hits": 0, "misses": len(tasks), "puts": len(tasks), "skips": 0,
+            "quarantined": 0,
         }
         TaskExecutor(workers=1, store=ResultStore(tmp_path)).run(tasks)
         stats = read_store_stats(tmp_path)
