@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli report /tmp/rstore --html report/
     python -m repro.cli chaos adversarial --workers 4
     python -m repro.cli run E1 --workers 4 --faults seed=7,executor.submit:crash:0.2
+    python -m repro.cli serve --port 7421 --workers 2
+    python -m repro.cli loadgen --port 7421 --clients 64 --duration 30
 
 The CLI is a thin wrapper over :mod:`repro.experiments` and
 :mod:`repro.runtime`: it resolves experiment/scenario ids, runs them — in
@@ -49,6 +51,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type for counts that allow 0 (``serve --workers 0`` = inline)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -152,6 +165,100 @@ def build_parser() -> argparse.ArgumentParser:
         "--root", type=str, default=None, metavar="DIR",
         help="keep the clean/chaos stores under DIR for inspection "
         "(default: a temporary directory, removed afterwards)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived solver service (shared-memory hot instances, "
+        "admission control, per-request deadlines, graceful SIGTERM drain)",
+    )
+    serve_parser.add_argument("--host", type=str, default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = pick a free one; printed as 'listening on ...')",
+    )
+    serve_parser.add_argument(
+        "--instance", action="append", default=None, metavar="SPEC",
+        help="hot instance spec NAME=GENERATOR:key=value,... (repeatable; "
+        "default: one small random instance)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=_nonnegative_int, default=2,
+        help="solver worker processes (0 = compute inline, no pool)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=_positive_int, default=64,
+        help="admission queue bound; beyond it requests are shed explicitly",
+    )
+    serve_parser.add_argument(
+        "--batch-size", type=_positive_int, default=8,
+        help="max requests per micro-batch",
+    )
+    serve_parser.add_argument(
+        "--batch-window", type=float, default=0.005, metavar="SECONDS",
+        help="how long the batcher waits to fill a micro-batch",
+    )
+    serve_parser.add_argument(
+        "--cache", type=_nonnegative_int, default=1024, metavar="ENTRIES",
+        help="response cache capacity (0 disables caching)",
+    )
+    serve_parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline when the client sends none",
+    )
+    serve_parser.add_argument(
+        "--drain-grace", type=float, default=5.0, metavar="SECONDS",
+        help="how long in-flight batches may finish after SIGTERM",
+    )
+    serve_parser.add_argument(
+        "--trace", type=str, default=None, metavar="DIR",
+        help="capture telemetry for the serving session (request spans)",
+    )
+    serve_parser.add_argument(
+        "--faults", type=str, default=None, metavar="SPEC",
+        help="deterministic fault plan for chaos-under-load, e.g. "
+        "'seed=7,service.request:crash:0.05'",
+    )
+    serve_parser.add_argument(
+        "--retry", type=str, default=None, metavar="SPEC",
+        help="retry-policy override for worker-side failures",
+    )
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="drive a running service with seeded concurrent clients and "
+        "verify every ok response against locally computed answers",
+    )
+    loadgen_parser.add_argument("--host", type=str, default="127.0.0.1")
+    loadgen_parser.add_argument("--port", type=int, required=True)
+    loadgen_parser.add_argument(
+        "--clients", type=_positive_int, default=16,
+        help="concurrent closed-loop client connections",
+    )
+    loadgen_parser.add_argument(
+        "--requests", type=_positive_int, default=25,
+        help="requests per client (ignored when --duration is given)",
+    )
+    loadgen_parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="run for a fixed wall-clock duration instead of a request count",
+    )
+    loadgen_parser.add_argument("--seed", type=int, default=0)
+    loadgen_parser.add_argument(
+        "--instance", type=str, default=None, metavar="SPEC",
+        help="instance spec the server was started with (for verification)",
+    )
+    loadgen_parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline to attach to every request",
+    )
+    loadgen_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip computing expected answers locally (pure load mode)",
+    )
+    loadgen_parser.add_argument(
+        "--json", type=str, default=None, metavar="FILE",
+        help="write the load report as JSON to FILE",
     )
 
     validate_parser = subparsers.add_parser(
@@ -397,6 +504,120 @@ def _chaos_command(args: argparse.Namespace) -> int:
     return 0 if report.parity else 1
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    """Implement ``serve``: run the solver service until SIGTERM/SIGINT."""
+    import asyncio
+
+    from repro.service.instances import DEFAULT_INSTANCE_SPEC, InstanceSpecError
+    from repro.service.server import ServiceConfig, serve_main
+
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            instances=tuple(args.instance or (DEFAULT_INSTANCE_SPEC,)),
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            batch_size=args.batch_size,
+            batch_window_s=args.batch_window,
+            cache_capacity=args.cache,
+            default_deadline_s=args.deadline,
+            drain_grace_s=args.drain_grace,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    env_overrides = _fault_retry_env(args)
+    saved = {var: os.environ.get(var) for var in env_overrides}
+    os.environ.update(env_overrides)
+    try:
+        if args.trace:
+            from repro.telemetry import TelemetrySession
+
+            with TelemetrySession(
+                label="serve",
+                trace_dir=args.trace,
+                attrs={"workers": args.workers, "port": args.port},
+            ) as session:
+                counters = asyncio.run(serve_main(config))
+            print(f"wrote trace: {session.trace_path}")
+        else:
+            counters = asyncio.run(serve_main(config))
+    except InstanceSpecError as exc:
+        raise SystemExit(f"bad --instance spec: {exc}")
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C before handler
+        return 130
+    finally:
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+    summary = ", ".join(f"{key}={counters[key]}" for key in sorted(counters))
+    print(f"drained: {summary}")
+    return 0
+
+
+def _loadgen_command(args: argparse.Namespace) -> int:
+    """Implement ``loadgen``: drive a service, verify, report percentiles.
+
+    Exits non-zero when any verified response was *wrong* — sheds and
+    deadline misses are legitimate overload outcomes, an incorrect answer
+    never is.
+    """
+    import json as json_module
+
+    from repro.service.instances import DEFAULT_INSTANCE_SPEC
+    from repro.service.loadgen import LoadgenConfig, run_load
+
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        duration_s=args.duration,
+        seed=args.seed,
+        instance_spec=args.instance or DEFAULT_INSTANCE_SPEC,
+        deadline_s=args.deadline,
+        verify=not args.no_verify,
+    )
+    try:
+        report = run_load(config)
+    except OSError as exc:
+        raise SystemExit(f"cannot reach service at {args.host}:{args.port}: {exc}")
+    payload = report.to_dict()
+    print(json_module.dumps(payload, indent=2, sort_keys=True))
+    if args.json:
+        Path(args.json).write_text(
+            json_module.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.json}")
+    return 1 if report.wrong else 0
+
+
+def _fault_retry_env(args: argparse.Namespace) -> dict:
+    """Validate ``--faults``/``--retry`` and map them to env overrides."""
+    env_overrides: dict = {}
+    if getattr(args, "faults", None) or getattr(args, "retry", None):
+        from repro.resilience import (
+            FAULTS_ENV_VAR,
+            RETRY_ENV_VAR,
+            parse_fault_spec,
+            parse_retry_spec,
+        )
+
+        try:
+            if args.faults:
+                parse_fault_spec(args.faults)  # fail fast on a bad spec
+                env_overrides[FAULTS_ENV_VAR] = args.faults
+            if args.retry:
+                parse_retry_spec(args.retry)
+                env_overrides[RETRY_ENV_VAR] = args.retry
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    return env_overrides
+
+
 def _validate_trace_command(path_arg: str) -> int:
     """Implement ``validate-trace``: check JSONL files against the schema."""
     from repro.telemetry import validate_trace_dir, validate_trace_file
@@ -437,6 +658,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "validate-trace":
         return _validate_trace_command(args.path)
 
+    if args.command == "serve":
+        return _serve_command(args)
+
+    if args.command == "loadgen":
+        return _loadgen_command(args)
+
     if args.command == "list":
         for experiment_id in sorted(EXPERIMENT_REGISTRY, key=lambda eid: int(eid[1:])):
             description = EXPERIMENT_DESCRIPTIONS.get(experiment_id, "")
@@ -447,24 +674,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _scenarios_command(args.name, args.tag)
 
     use_runtime = args.workers > 1 or args.store is not None
-    env_overrides = {}
-    if args.faults or args.retry:
-        from repro.resilience import (
-            FAULTS_ENV_VAR,
-            RETRY_ENV_VAR,
-            parse_fault_spec,
-            parse_retry_spec,
-        )
-
-        try:
-            if args.faults:
-                parse_fault_spec(args.faults)  # fail fast on a bad spec
-                env_overrides[FAULTS_ENV_VAR] = args.faults
-            if args.retry:
-                parse_retry_spec(args.retry)
-                env_overrides[RETRY_ENV_VAR] = args.retry
-        except ValueError as exc:
-            raise SystemExit(str(exc))
+    env_overrides = _fault_retry_env(args)
     experiment_ids = resolve_experiment_ids(args.experiments, allow_scenarios=True)
     if any(eid not in EXPERIMENT_REGISTRY for eid in experiment_ids):
         # Scenario/grid names only exist in the runtime registry; route the

@@ -84,6 +84,37 @@ class PayloadIntegrityError(TransientTaskError):
     """
 
 
+class SharedSegmentLostError(TransientTaskError):
+    """Raised when a shared-memory segment attach finds the segment gone.
+
+    An attach racing the publisher's ``close``/``unlink`` (or a publisher
+    that died and was resurrected under a new segment name) is a lost
+    *attempt*, not a wrong answer: the attach never mutates anything, so
+    re-resolving the handle and attaching again is always safe.  Being part
+    of the :class:`TransientTaskError` hierarchy makes the ambient retry
+    policy handle exactly that.
+    """
+
+    def __init__(self, segment: str) -> None:
+        super().__init__(f"shared-memory segment {segment!r} is gone (unlinked?)")
+        self.segment = segment
+
+
+class DeadlineExceededError(ReproError):
+    """Raised by a cooperative cancellation check once a deadline has passed.
+
+    Deliberately *not* transient: re-running the same computation against an
+    already-expired deadline fails again immediately, so the retry machinery
+    must let it propagate to whoever owns the deadline (the service maps it
+    to an explicit ``deadline`` response).  ``overrun`` is how many seconds
+    past the deadline the check observed.
+    """
+
+    def __init__(self, overrun: float) -> None:
+        super().__init__(f"deadline exceeded by {overrun:.4f}s")
+        self.overrun = overrun
+
+
 class CircuitOpenError(ReproError):
     """Raised when a circuit breaker refuses further attempts.
 

@@ -57,6 +57,7 @@ from repro.resilience.faults import (
     mark_worker_process,
     parse_fault_spec,
 )
+from repro.resilience.drain import DRAIN_SIGNALS, drain_on_signal
 from repro.resilience.policy import (
     DEFAULT_POLICY,
     RETRY_ENV_VAR,
@@ -76,6 +77,7 @@ __all__ = [
     "DATA_KINDS",
     "DEFAULT_POLICY",
     "DEGRADATION_LADDER",
+    "DRAIN_SIGNALS",
     "FAULTS_ENV_VAR",
     "FAULT_KINDS",
     "FAULT_SITES",
@@ -91,6 +93,7 @@ __all__ = [
     "canonical_checksum",
     "canonical_json",
     "current_attempt",
+    "drain_on_signal",
     "entry_checksum",
     "fault_plan_active",
     "faults_enabled",

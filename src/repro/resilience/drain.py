@@ -1,0 +1,82 @@
+"""Signal-driven graceful drain, shared by the executor and the service.
+
+Both long-running front ends — a sharded :class:`~repro.runtime.executor.
+TaskExecutor` sweep and the asyncio solver service — obey the same drain
+contract on ``SIGTERM``: stop accepting new work, let in-flight work finish
+(or time out), flush stats, release shared resources deterministically.
+
+The executor already implements the drain itself for ``KeyboardInterrupt``
+(cancel outstanding futures, flush journals, return a partial
+``RunReport(interrupted=True)``); :func:`drain_on_signal` extends that to
+process signals by translating them into a ``KeyboardInterrupt`` raised in
+the main thread.  The asyncio service registers its own loop-level handlers
+(``loop.add_signal_handler``) because an exception cannot be injected into
+an event loop from a signal frame — but the *sequence* it runs is the same
+drain contract, and the shared test case in ``tests/test_runtime_recovery.py``
+pins both.
+
+Example — a custom callback observes the signal without raising::
+
+    >>> import os, signal
+    >>> hits = []
+    >>> with drain_on_signal(callback=hits.append, signals=(signal.SIGUSR1,)):
+    ...     signal.raise_signal(signal.SIGUSR1)
+    >>> hits
+    [<Signals.SIGUSR1: 10>]
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.telemetry import metrics
+from repro.telemetry.spans import event
+
+#: The signals a drain scope intercepts by default.
+DRAIN_SIGNALS = (signal.SIGTERM,)
+
+
+@contextmanager
+def drain_on_signal(
+    callback: Optional[Callable[[signal.Signals], None]] = None,
+    signals: Sequence[signal.Signals] = DRAIN_SIGNALS,
+) -> Iterator[None]:
+    """Translate ``signals`` into a graceful drain for the enclosed block.
+
+    With no ``callback``, a caught signal raises :class:`KeyboardInterrupt`
+    in the main thread — which is exactly the drain path the executor
+    already implements (partial report, flushed stats, cancelled futures).
+    With a ``callback``, the signal is handed to it instead (the service
+    uses this form when it cannot run under an asyncio loop's own handler).
+
+    Previous handlers are restored on exit.  Outside the main thread, signal
+    handlers cannot be installed; the scope is then a documented no-op so
+    library code can use it unconditionally.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def handler(signum, frame):  # pragma: no cover - exercised via raise_signal
+        metrics.add("drain.signals")
+        event("drain.signal", signum=int(signum))
+        received = signal.Signals(signum)
+        if callback is not None:
+            callback(received)
+            return
+        raise KeyboardInterrupt(f"drain on {received.name}")
+
+    previous = {}
+    for signum in signals:
+        previous[signum] = signal.signal(signum, handler)
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+
+__all__ = ["DRAIN_SIGNALS", "drain_on_signal"]

@@ -24,6 +24,8 @@ Injection points and the kinds they honour:
 ``transport.attach``   ``raise`` (shared-memory attach fails)
 ``engine.pass``        ``raise`` (failure mid-streaming-pass)
 ``kernel.make``        ``raise`` (accelerated backend fails to build)
+``service.request``    ``crash`` (service worker dies mid-request),
+                       ``raise`` (transient per-request failure)
 =====================  ================================================
 
 Plans activate via the ``REPRO_FAULTS`` environment variable (the CLI's
@@ -66,6 +68,7 @@ FAULT_SITES = (
     "transport.attach",
     "engine.pass",
     "kernel.make",
+    "service.request",
 )
 
 #: The failure kinds a rule may request.

@@ -59,6 +59,7 @@ from repro.runtime.seeding import (
 from repro.runtime.store import STORE_FORMAT_VERSION, ResultStore, task_fingerprint
 from repro.runtime.tasks import RuntimeTask, execute_task, tasks_from_scenario
 from repro.runtime.transport import (
+    PackedPublication,
     SharedSystemHandle,
     SharedSystemPublication,
     publish_system,
@@ -76,6 +77,7 @@ __all__ = [
     "ScenarioGrid",
     "ScenarioSpec",
     "SeedStreams",
+    "PackedPublication",
     "SharedSystemHandle",
     "SharedSystemPublication",
     "ResultStore",

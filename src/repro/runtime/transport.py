@@ -37,6 +37,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
+from repro.exceptions import SharedSegmentLostError
 from repro.setcover.instance import PackedSetSystem, SetSystem, packed_row_bytes
 
 
@@ -89,10 +90,21 @@ class SharedSystemHandle:
         )
 
     def _attach_and_rebuild(self) -> SetSystem:
-        """One attach attempt: copy the buffer out, detach, rebuild."""
+        """One attach attempt: copy the buffer out, detach, rebuild.
+
+        An attach that finds the segment already unlinked — the publisher
+        closed first, or died and was republished under a new name — raises
+        the *typed, retryable* :class:`~repro.exceptions.SharedSegmentLostError`
+        rather than leaking the platform's bare ``FileNotFoundError``: the
+        attempt was lost, nothing was mutated, and the ambient retry policy
+        (or the service's handle refresh) is the right recovery.
+        """
         from multiprocessing import shared_memory
 
-        block = shared_memory.SharedMemory(name=self.segment)
+        try:
+            block = shared_memory.SharedMemory(name=self.segment)
+        except FileNotFoundError:
+            raise SharedSegmentLostError(self.segment) from None
         try:
             buffer = bytes(block.buf[: self.buffer_bytes])
         finally:
@@ -164,6 +176,11 @@ class SharedSystemPublication:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+#: The packed-buffer publication under the name the service layer uses for
+#: it: one hot instance published once, attached by many workers.
+PackedPublication = SharedSystemPublication
 
 
 def publish_system(system: SetSystem) -> SharedSystemPublication:

@@ -1,0 +1,91 @@
+"""Bounded LRU response cache keyed by request fingerprint.
+
+Memory-bounded by construction — at most ``capacity`` entries, strict LRU
+eviction — because "bounded resources under adversarial demand" applies to
+the cache exactly as it does to the request queue: a client sweeping random
+fingerprints must only ever evict, never grow the server.
+
+Cached values are the *result payloads* of ``ok`` responses (never sheds,
+deadlines, or errors: those are circumstances, not answers).  Since a
+fingerprint names a pure computation, a hit is byte-identical to a recompute
+— the parity property the serving tests assert.
+
+Example — strict LRU over three slots::
+
+    >>> cache = ResponseCache(capacity=2)
+    >>> cache.put("a", {"x": 1}); cache.put("b", {"x": 2})
+    >>> cache.get("a")          # refreshes "a"
+    {'x': 1}
+    >>> cache.put("c", {"x": 3})   # evicts "b", the least recent
+    >>> cache.get("b") is None
+    True
+    >>> sorted(cache.stats().items())
+    [('capacity', 2), ('entries', 2), ('evictions', 1), ('hits', 1), ('misses', 1)]
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.telemetry import metrics
+
+
+class ResponseCache:
+    """A strict-LRU mapping ``fingerprint -> result payload``.
+
+    Not thread-safe by design: the service mutates it only from the event
+    loop thread.  ``capacity=0`` disables caching entirely (every get is a
+    miss, every put a no-op) without branching at the call sites.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The cached payload, refreshed to most-recent; ``None`` on miss."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            metrics.add("service.cache_misses")
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        metrics.add("service.cache_hits")
+        return entry
+
+    def put(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        """Insert (or refresh) one payload, evicting the least recent."""
+        if self.capacity == 0:
+            return
+        if fingerprint in self._entries:
+            self._entries.move_to_end(fingerprint)
+            self._entries[fingerprint] = payload
+            return
+        self._entries[fingerprint] = payload
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            metrics.add("service.cache_evictions")
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for health probes and the drain summary."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+__all__ = ["ResponseCache"]

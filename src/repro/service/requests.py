@@ -1,0 +1,182 @@
+"""Request model of the solver service: validation, compute, fingerprints.
+
+A service request names an instance, a ``kind`` from
+:data:`~repro.service.protocol.REQUEST_KINDS`, and kind-specific params.
+This module is the *pure* core the whole serving path hangs off:
+
+* :func:`canonical_params` validates params and applies defaults, producing
+  the one canonical form that both the fingerprint and the compute see — so
+  ``{"k": 4}`` and ``{"k": 4, "extra-default": ...}`` can never fingerprint
+  differently while computing identically.
+* :func:`compute_response` evaluates a request against a
+  :class:`~repro.setcover.SetSystem` deterministically.  Whoever calls it —
+  a pool worker, the degraded inline path, a parity test — gets
+  byte-identical payloads for the same ``(instance digest, kind, params)``.
+* :func:`request_fingerprint` is the cache key: SHA-256 over the canonical
+  JSON of the packed-buffer instance digest plus the canonical request.
+
+Example — canonicalisation applies defaults and rejects junk::
+
+    >>> canonical_params("maxcover", {"k": 3})
+    {'k': 3}
+    >>> canonical_params("estimate", {})
+    {'alpha': 2, 'seed': 0}
+    >>> try:
+    ...     canonical_params("cover", {"bogus": 1})
+    ... except BadRequestError as exc:
+    ...     print("rejected")
+    rejected
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+from repro.service.deadline import check_deadline
+from repro.service.protocol import REQUEST_KINDS
+from repro.setcover.instance import SetSystem
+
+#: Current fingerprint schema version (bump when payload shapes change).
+FINGERPRINT_VERSION = 1
+
+
+class BadRequestError(ValueError):
+    """A request that fails validation; mapped to a ``bad_request`` response."""
+
+
+def _require_int(params: Dict[str, Any], key: str, minimum: int) -> int:
+    value = params[key]
+    # bool is an int subclass; a boolean k/alpha is a client bug, not a count.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequestError(f"param {key!r} must be an integer, got {value!r}")
+    if value < minimum:
+        raise BadRequestError(f"param {key!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def canonical_params(kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate ``params`` for ``kind`` and return the canonical dict.
+
+    Canonical means: defaults applied, unknown keys rejected, value types
+    checked — the exact dict that is both fingerprinted and computed.
+    """
+    if kind not in REQUEST_KINDS:
+        raise BadRequestError(
+            f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}"
+        )
+    if not isinstance(params, dict):
+        raise BadRequestError(f"params must be an object, got {type(params).__name__}")
+    if kind == "cover":
+        allowed: Dict[str, Any] = {}
+    elif kind == "maxcover":
+        allowed = {"k": None}
+    else:  # estimate
+        allowed = {"alpha": 2, "seed": 0}
+    unknown = set(params) - set(allowed)
+    if unknown:
+        raise BadRequestError(f"unknown param(s) {sorted(unknown)} for kind {kind!r}")
+    if kind == "cover":
+        return {}
+    if kind == "maxcover":
+        if "k" not in params:
+            raise BadRequestError("kind 'maxcover' requires integer param 'k'")
+        return {"k": _require_int(params, "k", minimum=0)}
+    canonical = dict(allowed)
+    canonical.update(params)
+    canonical["alpha"] = _require_int(canonical, "alpha", minimum=1)
+    canonical["seed"] = _require_int({"seed": canonical["seed"]}, "seed", minimum=0)
+    return canonical
+
+
+def request_fingerprint(
+    instance_digest: str, kind: str, params: Dict[str, Any]
+) -> str:
+    """The content-addressed identity of a request against one instance.
+
+    Reuses the runtime's fingerprint discipline: canonical JSON (sorted keys,
+    no whitespace) of the packed-buffer digest plus the canonical request,
+    hashed SHA-256.  Two requests with this fingerprint are the same pure
+    computation, so a cached response is *the* response.
+    """
+    payload = {
+        "v": FINGERPRINT_VERSION,
+        "instance": instance_digest,
+        "kind": kind,
+        "params": params,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def compute_response(
+    system: SetSystem, kind: str, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Evaluate one canonical request; pure and deterministic.
+
+    The contract the parity suite pins: for a given packed instance buffer,
+    ``kind``, and canonical params, the returned payload is byte-identical
+    (as canonical JSON) no matter which process, worker, or kernel backend
+    computed it.  ``params`` must already be canonical
+    (:func:`canonical_params`).
+
+    Honours the ambient deadline: checked on entry, and — for ``estimate``,
+    which runs the real multi-pass streaming machinery — at every pass grant
+    inside the engine.
+    """
+    check_deadline()
+    if kind == "cover":
+        from repro.setcover.greedy import greedy_set_cover
+
+        solution = greedy_set_cover(system)
+        return {
+            "kind": "cover",
+            "algorithm": "greedy",
+            "solution": list(solution),
+            "size": len(solution),
+            "covered": system.coverage(solution),
+            "n": system.universe_size,
+            "m": system.num_sets,
+        }
+    if kind == "maxcover":
+        from repro.setcover.maxcover import greedy_max_coverage
+
+        chosen, covered = greedy_max_coverage(system, params["k"])
+        return {
+            "kind": "maxcover",
+            "algorithm": "greedy",
+            "k": params["k"],
+            "solution": list(chosen),
+            "coverage": covered,
+            "n": system.universe_size,
+            "m": system.num_sets,
+        }
+    if kind == "estimate":
+        from repro.core.value_estimation import SetCoverValueEstimator
+        from repro.streaming.engine import run_streaming_algorithm
+
+        estimator = SetCoverValueEstimator(
+            alpha=params["alpha"], seed=params["seed"]
+        )
+        result = run_streaming_algorithm(estimator, system, verify_solution=False)
+        return {
+            "kind": "estimate",
+            "algorithm": estimator.name,
+            "alpha": params["alpha"],
+            "seed": params["seed"],
+            "estimate": result.estimated_value,
+            "passes": result.passes,
+            "n": system.universe_size,
+            "m": system.num_sets,
+        }
+    raise BadRequestError(f"unknown request kind {kind!r}")  # pragma: no cover
+
+
+__all__ = [
+    "BadRequestError",
+    "FINGERPRINT_VERSION",
+    "canonical_params",
+    "compute_response",
+    "request_fingerprint",
+]

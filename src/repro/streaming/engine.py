@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.exceptions import PassBudgetExceededError
+from repro.service.deadline import check_deadline
 from repro.setcover.instance import SetSystem
 from repro.setcover.verify import verify_cover
 from repro.streaming.algorithm_base import StreamingAlgorithm, StreamingResult
@@ -57,7 +58,17 @@ class MultiPassEngine:
         algorithm: StreamingAlgorithm,
         system: SetSystem,
     ) -> StreamingResult:
-        """Execute the algorithm and enforce the configured budgets."""
+        """Execute the algorithm and enforce the configured budgets.
+
+        Cooperative deadlines: an ambient request deadline (armed by the
+        service front end via :mod:`repro.service.deadline`) is checked here
+        before any work starts, at every pass grant inside
+        :class:`~repro.streaming.stream.SetStream`, and again before the
+        (potentially expensive) solution verification — so an expired
+        request never buys another pass or a verification sweep, yet an
+        algorithm is never torn down mid-kernel-call.
+        """
+        check_deadline()
         current = algorithm.space
         if self.config.space_budget is not None:
             # Arm a fresh budgeted meter for this run; the algorithm charges
@@ -101,6 +112,7 @@ class MultiPassEngine:
         ):
             raise PassBudgetExceededError(result.passes, self.config.pass_budget)
         if self.config.verify_solution:
+            check_deadline()
             with span("engine.verify", solution_size=len(result.solution)):
                 verify_cover(system, result.solution)
         return result

@@ -13,6 +13,7 @@ import enum
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.resilience.faults import inject
+from repro.service.deadline import check_deadline
 from repro.setcover.instance import SetSystem
 from repro.telemetry import metrics
 from repro.telemetry.spans import event
@@ -104,7 +105,15 @@ class SetStream:
         Each call counts as one pass over the stream regardless of whether the
         caller exhausts the iterator (a conservative accounting choice: partial
         passes still cost a pass, as they would in the streaming model).
+
+        Pass grants are the cooperative cancellation points of the serving
+        path: when an ambient request deadline (see
+        :mod:`repro.service.deadline`) has expired, the grant raises
+        :class:`~repro.exceptions.DeadlineExceededError` instead of handing
+        out another full pass.  Without an armed deadline the check is one
+        context-variable load — the batch path pays nothing.
         """
+        check_deadline()
         inject("engine.pass", key=f"iterate:{self._passes_consumed + 1}")
         self._passes_consumed += 1
         # A zero-duration event rather than a span: this is a generator, and
@@ -130,7 +139,13 @@ class SetStream:
         ``(index, mask)`` pairs — but it still pays the pass, keeping the
         streaming model's accounting identical to the per-set loop.  Arrival
         order, where it matters, comes from :attr:`arrival_order`.
+
+        Like :meth:`iterate_pass`, the grant is a cooperative cancellation
+        point: an expired ambient deadline raises
+        :class:`~repro.exceptions.DeadlineExceededError` before the pass is
+        charged, and the check is free when no deadline is armed.
         """
+        check_deadline()
         inject("engine.pass", key=f"batched:{self._passes_consumed + 1}")
         self._passes_consumed += 1
         event(

@@ -204,3 +204,102 @@ class TestMainEntryPoint:
         payload = json.loads(json_path.read_text())
         assert payload[0]["experiment_id"] == "E12"
         assert "E12" in md_path.read_text()
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 0 and args.workers == 2
+        assert args.queue_limit == 64 and args.cache == 1024
+        assert args.instance is None and args.deadline is None
+
+    def test_serve_workers_zero_means_inline(self):
+        args = build_parser().parse_args(["serve", "--workers", "0"])
+        assert args.workers == 0
+
+    def test_serve_negative_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--workers", "-1"])
+
+    def test_serve_instances_accumulate(self):
+        args = build_parser().parse_args(
+            ["serve", "--instance", "a=random:n=8,m=4", "--instance", "b=random:n=8,m=4"]
+        )
+        assert args.instance == ["a=random:n=8,m=4", "b=random:n=8,m=4"]
+
+    def test_serve_rejects_bad_queue_limit(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--queue-limit", "0"])
+
+    def test_serve_bad_instance_spec_exits(self):
+        with pytest.raises(SystemExit, match="instance"):
+            main(["serve", "--instance", "broken"])
+
+
+class TestLoadgenParser:
+    def test_port_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen"])
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen", "--port", "1234"])
+        assert args.port == 1234
+        assert args.clients == 16 and args.requests == 25
+        assert args.no_verify is False and args.duration is None
+
+
+class TestChaosExitCode:
+    """`repro chaos` is CI-usable: parity failure must be a non-zero exit."""
+
+    def _fake_report(self, parity):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(parity=parity, render=lambda: "chaos-report")
+
+    def test_parity_failure_exits_one(self, monkeypatch, capsys):
+        import repro.resilience as resilience
+
+        monkeypatch.setattr(
+            resilience, "run_chaos", lambda *a, **k: self._fake_report(False)
+        )
+        assert main(["chaos", "WL"]) == 1
+        assert "chaos-report" in capsys.readouterr().out
+
+    def test_parity_success_exits_zero(self, monkeypatch, capsys):
+        import repro.resilience as resilience
+
+        monkeypatch.setattr(
+            resilience, "run_chaos", lambda *a, **k: self._fake_report(True)
+        )
+        assert main(["chaos", "WL"]) == 0
+
+
+class TestLoadgenExitCode:
+    """`repro loadgen` fails loudly iff a verified answer was wrong."""
+
+    def _fake_report(self, wrong):
+        from repro.service.loadgen import LoadReport
+
+        report = LoadReport(clients=1)
+        report.record("ok", 0.01)
+        report.wrong = wrong
+        report.wall_s = 0.1
+        return report
+
+    def test_wrong_answers_exit_one(self, monkeypatch, capsys):
+        import repro.service.loadgen as loadgen
+
+        monkeypatch.setattr(loadgen, "run_load", lambda config: self._fake_report(2))
+        assert main(["loadgen", "--port", "1"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["wrong"] == 2
+
+    def test_clean_run_exits_zero_and_writes_json(self, monkeypatch, tmp_path, capsys):
+        import repro.service.loadgen as loadgen
+
+        monkeypatch.setattr(loadgen, "run_load", lambda config: self._fake_report(0))
+        out = tmp_path / "report.json"
+        assert main(["loadgen", "--port", "1", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["wrong"] == 0 and payload["ok"] == 1

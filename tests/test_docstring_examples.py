@@ -29,6 +29,13 @@ AUDITED_MODULES = [
     ),
     "repro.resilience",
     "repro.resilience.chaos",
+    "repro.service",
+    "repro.service.cache",
+    "repro.service.client",
+    "repro.service.deadline",
+    "repro.service.instances",
+    "repro.service.protocol",
+    "repro.service.requests",
     "repro.resilience.degrade",
     "repro.resilience.durability",
     "repro.resilience.faults",

@@ -206,3 +206,86 @@ class TestOutcomeRowDegradation:
             counters = session.registry.snapshot()["counters"]
         assert result.findings["budget_exceeded"] is True
         assert counters.get("degrade.outcome_row", 0) == 1
+
+
+class TestSignalDrain:
+    """SIGTERM means the same thing to both front ends: drain gracefully."""
+
+    def test_executor_drains_on_sigterm_like_an_interrupt(
+        self, monkeypatch, tmp_path
+    ):
+        import signal
+
+        import repro.runtime.executor as executor_module
+        from repro.resilience.drain import drain_on_signal
+
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        tasks = grid_tasks()
+        original = executor_module.execute_task
+
+        def signalled(task):
+            if task.key == tasks[2].key:
+                # A real delivery, not a raised KeyboardInterrupt: the drain
+                # scope's handler must do the translation itself.
+                signal.raise_signal(signal.SIGTERM)
+            return original(task)
+
+        monkeypatch.setattr(executor_module, "execute_task", signalled)
+        store = ResultStore(tmp_path)
+        with drain_on_signal():
+            report = TaskExecutor(workers=1, store=store).run(tasks)
+        assert report.interrupted
+        assert len(report) == 2
+        # Finished work was flushed before the drain returned.
+        assert read_store_stats(tmp_path)["puts"] == 2
+
+    def test_drain_scope_restores_previous_handlers(self):
+        import signal
+
+        from repro.resilience.drain import drain_on_signal
+
+        before = signal.getsignal(signal.SIGTERM)
+        with drain_on_signal(callback=lambda s: None):
+            assert signal.getsignal(signal.SIGTERM) is not before
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_service_drains_on_sigterm(self):
+        """End-to-end: `repro serve` answers, then SIGTERM drains to exit 0."""
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        from repro.service.client import ServiceClient
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env.pop(FAULTS_ENV_VAR, None)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--workers", "0",
+                "--instance", "hot=random:n=24,m=16,seed=2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("listening on "), banner
+            host, _, port = banner.rpartition(" ")[2].rpartition(":")
+            with ServiceClient(host, int(port)) as client:
+                response = client.request("cover")
+            assert response["status"] == "ok"
+            proc.send_signal(signal.SIGTERM)
+            stdout, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "drained:" in stdout
+        assert "ok=1" in stdout or "requests=1" in stdout

@@ -135,3 +135,35 @@ class TestParallelRoundTrip:
         system = _sample_system()
         with shared_system(system) as handle:
             assert handle.buffer_bytes == len(system.to_packed().buffer)
+
+
+class TestSegmentLoss:
+    """Attaching after unlink must fail typed and retryable, never bare."""
+
+    def test_attach_after_unlink_raises_typed_error(self):
+        from repro.exceptions import SharedSegmentLostError, TransientTaskError
+
+        publication = publish_system(_sample_system())
+        handle = publication.handle
+        publication.close()  # unlink before any consumer attaches
+        with pytest.raises(SharedSegmentLostError) as excinfo:
+            handle._attach_and_rebuild()
+        # Typed, retryable, and it names the lost segment.
+        assert isinstance(excinfo.value, TransientTaskError)
+        assert handle.segment in str(excinfo.value)
+
+    def test_load_retries_then_surfaces_segment_loss(self, monkeypatch):
+        from repro.exceptions import SharedSegmentLostError
+
+        monkeypatch.setenv("REPRO_RETRY", "attempts=2,backoff=0.001")
+        publication = publish_system(_sample_system())
+        handle = publication.handle
+        publication.close()
+        with pytest.raises(SharedSegmentLostError):
+            handle.load()
+
+    def test_packed_publication_is_the_service_alias(self):
+        from repro.runtime import PackedPublication
+        from repro.runtime.transport import SharedSystemPublication
+
+        assert PackedPublication is SharedSystemPublication

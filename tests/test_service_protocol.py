@@ -1,0 +1,129 @@
+"""Wire-protocol tests: framing, determinism, bounds, sync/async helpers."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    STATUSES,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    frame_length,
+    make_response,
+    read_message,
+    recv_message,
+    send_message,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"id": "r1", "kind": "maxcover", "params": {"k": 3}}
+        frame = encode_frame(message)
+        assert frame_length(frame[:4]) == len(frame) - 4
+        assert decode_frame(frame[4:]) == message
+
+    def test_encoding_is_deterministic(self):
+        a = encode_frame({"b": 1, "a": {"y": 2, "x": 1}})
+        b = encode_frame({"a": {"x": 1, "y": 2}, "b": 1})
+        assert a == b
+
+    def test_declared_oversize_rejected(self):
+        prefix = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameError, match="exceeds"):
+            frame_length(prefix)
+
+    def test_oversize_body_rejected_at_encode(self, monkeypatch):
+        monkeypatch.setattr("repro.service.protocol.MAX_FRAME_BYTES", 16)
+        with pytest.raises(FrameError, match="exceeds"):
+            encode_frame({"data": "x" * 64})
+
+    def test_non_object_frame_rejected(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_frame(b"[1,2,3]")
+
+    def test_undecodable_frame_rejected(self):
+        with pytest.raises(FrameError, match="undecodable"):
+            decode_frame(b"\xff\xfe not json")
+
+
+class TestSyncHelpers:
+    def test_socketpair_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            send_message(left, {"id": "r9", "kind": "ping"})
+            assert recv_message(right) == {"id": "r9", "kind": "ping"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_message(right) is None
+        finally:
+            right.close()
+
+    def test_mid_frame_eof_raises(self):
+        left, right = socket.socketpair()
+        try:
+            frame = encode_frame({"id": "r1", "kind": "cover"})
+            left.sendall(frame[: len(frame) - 2])
+            left.close()
+            with pytest.raises(FrameError, match="mid-frame"):
+                recv_message(right)
+        finally:
+            right.close()
+
+
+class TestAsyncHelpers:
+    def _reader_with(self, data: bytes) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_read_message_round_trip(self):
+        async def go():
+            reader = self._reader_with(encode_frame({"id": "r1", "kind": "health"}))
+            return await read_message(reader)
+
+        assert asyncio.run(go()) == {"id": "r1", "kind": "health"}
+
+    def test_clean_eof_returns_none(self):
+        async def go():
+            return await read_message(self._reader_with(b""))
+
+        assert asyncio.run(go()) is None
+
+    def test_truncated_frame_raises(self):
+        async def go():
+            frame = encode_frame({"id": "r1", "kind": "cover"})
+            return await read_message(self._reader_with(frame[:-3]))
+
+        with pytest.raises(FrameError, match="mid-frame"):
+            asyncio.run(go())
+
+
+class TestResponses:
+    def test_all_statuses_assemble(self):
+        for status in STATUSES:
+            response = make_response("r1", status, error="e")
+            assert response["v"] == PROTOCOL_VERSION
+            assert response["status"] == status
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError, match="unknown response status"):
+            make_response("r1", "wat")
+
+    def test_extra_fields_pass_through(self):
+        response = make_response("r1", "ok", result={"x": 1}, cached=True)
+        assert response["cached"] is True and response["result"] == {"x": 1}
