@@ -135,6 +135,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the retry policy, e.g. 'attempts=5,timeout=30' "
         "(also honoured via REPRO_RETRY)",
     )
+    run_parser.add_argument(
+        "--dispatch",
+        choices=("auto", "serial", "local-process", "multihost-sim"),
+        default="auto",
+        help="dispatch backend for the runtime executor: serial (in-process), "
+        "local-process (worker pool), multihost-sim (one subprocess per "
+        "chunk, simulating distributed hosts); auto picks serial/pool from "
+        "--workers.  Results are byte-identical across backends.",
+    )
+    run_parser.add_argument(
+        "--instance-file",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="attach an on-disk instance container (see 'repro gen-instance') "
+        "to every instance-capable task instead of per-task generation",
+    )
+    run_parser.add_argument(
+        "--instance-backing",
+        choices=("mmap", "heap", "shared"),
+        default="mmap",
+        help="how tasks see --instance-file: mmap (windowed, zero-copy off "
+        "disk; default), heap (loaded resident, shipped with each task), or "
+        "shared (one shared-memory segment for the whole run)",
+    )
+
+    gen_parser = subparsers.add_parser(
+        "gen-instance",
+        help="generate a random instance straight into a container file "
+        "(chunked writer: peak memory is one row window, any m)",
+    )
+    gen_parser.add_argument("path", help="container file to write")
+    gen_parser.add_argument("--n", type=_positive_int, required=True, help="universe size")
+    gen_parser.add_argument("--m", type=_positive_int, required=True, help="number of sets")
+    gen_parser.add_argument(
+        "--density", type=float, default=None,
+        help="per-element membership probability (default: the random_set_system default)",
+    )
+    gen_parser.add_argument(
+        "--set-size", type=_nonnegative_int, default=None,
+        help="exact elements per set (mutually exclusive with --density)",
+    )
+    gen_parser.add_argument("--seed", type=int, default=None)
+    gen_parser.add_argument(
+        "--chunk-rows", type=_positive_int, default=None,
+        help="rows generated per window (affects memory only, never the bytes)",
+    )
+    gen_parser.add_argument(
+        "--backend", choices=("auto", "python", "numpy"), default="auto",
+        help="compute-kernel hint recorded in the container header",
+    )
 
     chaos_parser = subparsers.add_parser(
         "chaos",
@@ -383,6 +434,54 @@ def run_experiments(
     return results
 
 
+def _runner_accepts_instance(runner_name: str) -> bool:
+    """Whether a registered runner takes the ``instance`` keyword.
+
+    Inspected from the signature rather than hardcoded, so new runners opt
+    in by just declaring the parameter.
+    """
+    import inspect
+
+    from repro.experiments.runners import RUNNER_REGISTRY
+
+    runner = RUNNER_REGISTRY.get(runner_name)
+    if runner is None:
+        return False
+    try:
+        return "instance" in inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtin/odd callables
+        return False
+
+
+def _open_instance_file(instance_file: str, instance_backing: str):
+    """Resolve ``--instance-file``/``--instance-backing`` to a descriptor.
+
+    Returns ``(descriptor, publication)`` — ``publication`` is a live
+    :class:`~repro.setcover.source.SharedMemorySource` the caller must close
+    after the run for the ``shared`` backing, ``None`` otherwise.
+    """
+    from repro.exceptions import InstanceSourceLostError
+    from repro.setcover.source import MmapSource, SharedMemorySource
+
+    try:
+        source = MmapSource.open(instance_file)
+    except (ValueError, OSError, InstanceSourceLostError) as exc:
+        raise SystemExit(f"cannot open --instance-file {instance_file!r}: {exc}")
+    if instance_backing == "mmap":
+        descriptor = source.descriptor()
+        source.close()
+        return descriptor, None
+    packed = source.to_packed()
+    digest = source.digest()
+    source.close()
+    if instance_backing == "heap":
+        from repro.setcover.source import HeapSource
+
+        return HeapSource.from_packed(packed, digest=digest).descriptor(), None
+    publication = SharedMemorySource.publish(packed)
+    return publication.descriptor(), publication
+
+
 def run_experiments_runtime(
     experiment_ids: Sequence[str],
     seed: Optional[int] = None,
@@ -391,20 +490,58 @@ def run_experiments_runtime(
     chunksize: Optional[int] = None,
     printer: Callable[[str], None] = print,
     quiet: bool = False,
+    dispatch: str = "auto",
+    instance_file: Optional[str] = None,
+    instance_backing: str = "mmap",
 ) -> List[ExperimentResult]:
     """Run experiments through the runtime executor (sharded, store-backed).
 
     Status lines are deterministic ``computed``/``cached`` markers rather
     than wall-clock timings, so the printed output of a ``--workers 4`` run
     is byte-identical to the serial one and cache hits are observable.
+
+    ``instance_file`` attaches the referenced container to every
+    instance-capable task (currently: runners declaring an ``instance``
+    parameter) as a :class:`~repro.setcover.source.SourceDescriptor` in the
+    chosen backing.  The descriptor fingerprints by content digest, so the
+    same file served mmap / heap / shared hits the same store entries —
+    and because the attachment happens before dispatch, every backend ×
+    backing combination reports identical bytes.
     """
     from repro.runtime import ResultStore, TaskExecutor, get_scenario, tasks_from_scenario
 
     tasks = []
     for experiment_id in experiment_ids:
         tasks.extend(tasks_from_scenario(get_scenario(experiment_id), seed_override=seed))
+
+    publication = None
+    if instance_file is not None:
+        from dataclasses import replace as dataclass_replace
+
+        descriptor, publication = _open_instance_file(instance_file, instance_backing)
+        attached = 0
+        for index, task in enumerate(tasks):
+            if _runner_accepts_instance(task.runner):
+                tasks[index] = dataclass_replace(
+                    task, params=task.params + (("instance", descriptor),)
+                )
+                attached += 1
+        digest = descriptor.digest or ""
+        printer(
+            f"# instance: {instance_file} backing={instance_backing} "
+            f"digest={digest[:16]} tasks={attached}/{len(tasks)}"
+        )
+    if dispatch != "auto":
+        printer(f"# dispatch: {dispatch}")
+
     store = ResultStore(store_dir) if store_dir else None
-    report = TaskExecutor(workers=workers, store=store, chunksize=chunksize).run(tasks)
+    try:
+        report = TaskExecutor(
+            workers=workers, store=store, chunksize=chunksize, dispatch=dispatch
+        ).run(tasks)
+    finally:
+        if publication is not None:
+            publication.close()
     results: List[ExperimentResult] = []
     for outcome in report.outcomes:
         result = outcome.result()
@@ -431,6 +568,8 @@ def _scenarios_command(name: Optional[str], tag: Optional[str]) -> int:
             )
         print(f"name:         {spec.name}")
         print(f"runner:       {spec.runner}")
+        capable = "yes" if _runner_accepts_instance(spec.runner) else "no"
+        print(f"instance-capable: {capable}")
         print(f"description:  {spec.description or '-'}")
         print(f"seed:         {spec.seed if spec.seed is not None else 'runner default'}")
         print(f"repetitions:  {spec.repetitions}")
@@ -618,6 +757,39 @@ def _fault_retry_env(args: argparse.Namespace) -> dict:
     return env_overrides
 
 
+def _gen_instance_command(args: argparse.Namespace) -> int:
+    """Implement ``gen-instance``: chunked generation straight to a container.
+
+    Prints the content digest so scripts (and the CI out-of-core job) can
+    assert the file matches an in-memory generation of the same parameters.
+    """
+    from repro.workloads.outofcore import generate_to_file
+
+    kwargs = {}
+    if args.chunk_rows is not None:
+        kwargs["chunk_rows"] = args.chunk_rows
+    try:
+        descriptor = generate_to_file(
+            args.path,
+            args.n,
+            args.m,
+            set_size=args.set_size,
+            density=args.density,
+            seed=args.seed,
+            backend=args.backend,
+            **kwargs,
+        )
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc))
+    size = Path(args.path).stat().st_size
+    print(
+        f"wrote {args.path}: n={descriptor.universe_size} "
+        f"m={descriptor.num_sets} ({size} bytes)"
+    )
+    print(f"digest: {descriptor.digest}")
+    return 0
+
+
 def _validate_trace_command(path_arg: str) -> int:
     """Implement ``validate-trace``: check JSONL files against the schema."""
     from repro.telemetry import validate_trace_dir, validate_trace_file
@@ -658,6 +830,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "validate-trace":
         return _validate_trace_command(args.path)
 
+    if args.command == "gen-instance":
+        return _gen_instance_command(args)
+
     if args.command == "serve":
         return _serve_command(args)
 
@@ -673,7 +848,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "scenarios":
         return _scenarios_command(args.name, args.tag)
 
-    use_runtime = args.workers > 1 or args.store is not None
+    use_runtime = (
+        args.workers > 1
+        or args.store is not None
+        or args.dispatch != "auto"
+        or args.instance_file is not None
+    )
     env_overrides = _fault_retry_env(args)
     experiment_ids = resolve_experiment_ids(args.experiments, allow_scenarios=True)
     if any(eid not in EXPERIMENT_REGISTRY for eid in experiment_ids):
@@ -695,6 +875,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     store_dir=args.store,
                     chunksize=args.chunksize,
                     quiet=args.quiet,
+                    dispatch=args.dispatch,
+                    instance_file=args.instance_file,
+                    instance_backing=args.instance_backing,
                 )
             return run_experiments(experiment_ids, seed=args.seed, quiet=args.quiet)
         finally:
@@ -713,11 +896,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.telemetry import TelemetrySession, kernel_profiler, profiling_wanted
 
         with ExitStack() as stack:
+            session_attrs = {
+                "workers": args.workers,
+                "seed": args.seed,
+                "dispatch": args.dispatch,
+            }
+            if args.instance_file is not None:
+                session_attrs["instance_backing"] = args.instance_backing
             session = stack.enter_context(
                 TelemetrySession(
                     label="-".join(args.experiments),
                     trace_dir=trace_dir,
-                    attrs={"workers": args.workers, "seed": args.seed},
+                    attrs=session_attrs,
                 )
             )
             if profiling_wanted():

@@ -100,6 +100,22 @@ class SharedSegmentLostError(TransientTaskError):
         self.segment = segment
 
 
+class InstanceSourceLostError(TransientTaskError):
+    """Raised when attaching an instance source finds its backing gone.
+
+    The file-backed analogue of :class:`SharedSegmentLostError`: an mmap
+    container that disappeared between descriptor creation and attach (NFS
+    lag, a publisher cleaning up early, a torn re-export) is a lost
+    *attempt* — the attach never mutates anything, so re-resolving the
+    descriptor and attaching again is always safe under the ambient retry
+    policy.
+    """
+
+    def __init__(self, location: str, detail: str = "is gone") -> None:
+        super().__init__(f"instance source {location!r} {detail}")
+        self.location = location
+
+
 class DeadlineExceededError(ReproError):
     """Raised by a cooperative cancellation check once a deadline has passed.
 

@@ -34,7 +34,7 @@ from repro.exceptions import InfeasibleInstanceError, SpaceBudgetExceededError
 from repro.resilience.degrade import record_degradation
 from repro.experiments.harness import ExperimentResult
 from repro.setcover.greedy import greedy_set_cover
-from repro.setcover.instance import SetCoverInstance
+from repro.setcover.instance import SetCoverInstance, SetSystem
 from repro.setcover.verify import is_feasible_cover
 from repro.streaming.engine import run_streaming_algorithm
 from repro.streaming.stream import StreamOrder
@@ -84,6 +84,29 @@ def _build_instance(
         )
     raise ValueError(
         f"unknown workload {workload!r}; expected one of {WORKLOAD_KINDS}"
+    )
+
+
+def _resolve_instance(instance: Any) -> SetCoverInstance:
+    """Accept a concrete instance in any of its plane representations.
+
+    ``SetCoverInstance`` passes through; a bare ``SetSystem`` is wrapped; a
+    :class:`~repro.setcover.source.SourceDescriptor` (shared-memory or
+    container-file reference — what ``repro run --instance-file`` attaches
+    to every task) is opened through the instance plane, which keeps a
+    file-backed system windowed instead of materialising it.
+    """
+    if isinstance(instance, SetCoverInstance):
+        return instance
+    if isinstance(instance, SetSystem):
+        return SetCoverInstance(instance)
+    from repro.setcover.source import SourceDescriptor, open_source
+
+    if isinstance(instance, SourceDescriptor):
+        return SetCoverInstance(SetSystem.from_source(open_source(instance)))
+    raise TypeError(
+        "instance must be a SetCoverInstance, SetSystem, or SourceDescriptor, "
+        f"got {type(instance).__name__}"
     )
 
 
@@ -146,6 +169,7 @@ def run_workload_sweep(
     theta: Optional[int] = None,
     space_budget: Optional[int] = None,
     seed: int = 20170,
+    instance: Optional[Any] = None,
 ) -> ExperimentResult:
     """Run one workload × algorithm × arrival-order combination.
 
@@ -154,20 +178,33 @@ def run_workload_sweep(
     streams.  The result table carries the space peaks (total and dominant
     category) so hard-instance sweeps through the runtime executor report
     exactly what Theorem 2's space accounting measures.
+
+    ``instance`` short-circuits generation: pass a concrete
+    :class:`SetCoverInstance` / :class:`SetSystem`, or a
+    :class:`~repro.setcover.source.SourceDescriptor` referencing a shared
+    or file-backed instance (``workload`` then only labels the rows, and
+    the generator knobs are ignored).  The instance-seed child stream is
+    not spawned on this path, so two runs handed the same descriptor — on
+    any backing, through any dispatch backend — draw identical algorithm
+    and shuffle seeds and report identical bytes.
     """
     stream_order = StreamOrder(order)
     rng = spawn_rng(seed)
-    instance = _build_instance(
-        workload,
-        rng,
-        universe_size,
-        num_sets,
-        num_pairs,
-        alpha,
-        epsilon,
-        cover_size,
-        theta,
-    )
+    provided = instance is not None
+    if provided:
+        instance = _resolve_instance(instance)
+    else:
+        instance = _build_instance(
+            workload,
+            rng,
+            universe_size,
+            num_sets,
+            num_pairs,
+            alpha,
+            epsilon,
+            cover_size,
+            theta,
+        )
     system = instance.system
     opt_guess = _offline_opt_guess(instance)
     runner = _build_algorithm(algorithm, alpha, opt_guess, rng)
@@ -272,6 +309,10 @@ def run_workload_sweep(
         findings["planted_opt"] = instance.planted_opt
     if "theta" in instance.metadata:
         findings["theta"] = instance.metadata["theta"]
+    if provided:
+        close = getattr(system, "close", None)
+        if close is not None:
+            close()
     return ExperimentResult(
         experiment_id="WL",
         title=f"{workload} workload, {algorithm}, {stream_order.value} arrival",

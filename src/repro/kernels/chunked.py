@@ -1,0 +1,249 @@
+"""Chunked kernel: batched primitives over a windowed instance source.
+
+The out-of-core counterpart of the in-memory backends: instead of holding
+all m masks (as Python ints or one resident NumPy matrix), every batched
+primitive streams the packed buffer through an
+:class:`~repro.setcover.source.InstanceSource` in bounded row windows —
+so a shared-memory or mmap-backed system never materialises more than
+``chunk_rows`` rows in this process's heap, no matter how large m grows.
+
+Per window the arithmetic is exactly the resident backends': the ``numpy``
+flavour runs the same ``<u8`` word ops (:mod:`repro.kernels.numpy_backend`)
+on a ``frombuffer`` view of the window, the ``python`` flavour decodes the
+window to int bitsets and loops (:mod:`repro.kernels.pyint`).  Reductions
+across windows are order-preserving (running first-max, concatenation,
+bitwise OR), so results are bit-identical to both in-memory backends —
+the existing parity suites extend over this kernel unchanged.
+
+Example — identical answers to the resident kernels, via a heap source::
+
+    >>> from repro.setcover.instance import SetSystem
+    >>> from repro.setcover.source import HeapSource
+    >>> source = HeapSource.from_packed(SetSystem(4, [{0, 1}, {1, 2, 3}]).to_packed())
+    >>> ChunkedKernel(source, backend="python").gains(uncovered=0b1111)
+    [2, 3]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.kernels import resolve_backend
+from repro.kernels.pyint import claim_by_descending_keys
+from repro.setcover.source import DEFAULT_CHUNK_ROWS, InstanceSource, LazyMaskRows
+from repro.utils.bitset import bitset_size, iter_bits
+
+
+class ChunkedKernel:
+    """Windowed backend: resident-kernel arithmetic, one chunk at a time.
+
+    ``backend`` resolves to the concrete per-window flavour (``python`` or
+    ``numpy``) through the same :func:`~repro.kernels.resolve_backend`
+    policy every system uses, so ``REPRO_KERNEL`` pins it identically.
+    """
+
+    def __init__(
+        self,
+        source: InstanceSource,
+        backend: str = "auto",
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> None:
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        self._source = source
+        self._n = source.universe_size
+        self._m = source.num_sets
+        self._chunk_rows = chunk_rows
+        self._row_bytes = source.row_bytes
+        self._words = self._row_bytes // 8
+        self._universe = (1 << self._n) - 1
+        self.backend = resolve_backend(backend, self._n, self._m)
+        self._np = None
+        if self.backend == "numpy":
+            import numpy
+
+            self._np = numpy
+
+    # -- per-window helpers ----------------------------------------------
+    def _chunk_words(self, view: memoryview, rows: int):
+        """A window of the packed buffer as an ``(rows, words)`` uint64 array."""
+        return self._np.frombuffer(view, dtype=self._np.dtype("<u8")).reshape(
+            rows, self._words
+        )
+
+    def _chunk_masks(self, view: memoryview) -> List[int]:
+        data = bytes(view)
+        stride = self._row_bytes
+        return [
+            int.from_bytes(data[offset : offset + stride], "little")
+            for offset in range(0, len(data), stride)
+        ]
+
+    def _pack_one(self, mask: int):
+        # Clip to the packed width like NumpyKernel._pack_one: stored rows
+        # are subsets of the universe, so dropped bits cannot change any
+        # result — it keeps the flavours identical (and to_bytes in range).
+        mask &= self._universe
+        return self._np.frombuffer(
+            mask.to_bytes(self._row_bytes, "little"), dtype=self._np.dtype("<u8")
+        )
+
+    def _chunk_popcounts(self, view: memoryview, rows: int, against: int) -> List[int]:
+        """Popcount of ``row & against`` for one window, either flavour."""
+        if self._np is not None:
+            from repro.kernels.numpy_backend import _popcount_rows
+
+            words = self._chunk_words(view, rows)
+            return _popcount_rows(words & self._pack_one(against)).tolist()
+        return [bitset_size(mask & against) for mask in self._chunk_masks(view)]
+
+    # -- Kernel protocol --------------------------------------------------
+    @property
+    def universe_size(self) -> int:
+        return self._n
+
+    @property
+    def num_sets(self) -> int:
+        return self._m
+
+    def gain(self, index: int, uncovered: int) -> int:
+        return bitset_size(self._source.mask_at(index) & uncovered)
+
+    def gains(self, uncovered: int) -> List[int]:
+        result: List[int] = []
+        for _, rows, view in self._source.iter_chunks(self._chunk_rows):
+            result.extend(self._chunk_popcounts(view, rows, uncovered))
+        return result
+
+    def best_gain_index(self, uncovered: int) -> "tuple[int, int]":
+        # Running first-max across windows, with the same update rule as
+        # PyIntKernel.best_gain_index — a later chunk wins only on a strict
+        # improvement, so the global winner is the smallest index among the
+        # maxima, matching both resident backends.
+        best_index = -1
+        best_gain = 0
+        for start, rows, view in self._source.iter_chunks(self._chunk_rows):
+            counts = self._chunk_popcounts(view, rows, uncovered)
+            for offset, gain in enumerate(counts):
+                if gain > best_gain or best_index < 0:
+                    best_gain = gain
+                    best_index = start + offset
+        return best_index, best_gain
+
+    def restrict(self, keep: int) -> List[int]:
+        restricted: List[int] = []
+        for _, _, view in self._source.iter_chunks(self._chunk_rows):
+            restricted.extend(mask & keep for mask in self._chunk_masks(view))
+        return restricted
+
+    def element_frequencies(self) -> List[int]:
+        if self._m == 0 or self._n == 0:
+            return [0] * self._n
+        if self._np is not None:
+            np = self._np
+            totals = np.zeros(self._n, dtype=np.int64)
+            for _, rows, view in self._source.iter_chunks(self._chunk_rows):
+                as_bytes = self._chunk_words(view, rows).view(np.uint8)
+                bits = np.unpackbits(as_bytes, axis=1, bitorder="little")[:, : self._n]
+                totals += bits.sum(axis=0, dtype=np.int64)
+            return totals.tolist()
+        frequencies = [0] * self._n
+        for _, _, view in self._source.iter_chunks(self._chunk_rows):
+            for mask in self._chunk_masks(view):
+                for element in iter_bits(mask):
+                    frequencies[element] += 1
+        return frequencies
+
+    def union(self) -> int:
+        result = 0
+        for _, rows, view in self._source.iter_chunks(self._chunk_rows):
+            if self._np is not None:
+                np = self._np
+                merged = np.bitwise_or.reduce(self._chunk_words(view, rows), axis=0)
+                result |= int.from_bytes(np.ascontiguousarray(merged).tobytes(), "little")
+            else:
+                for mask in self._chunk_masks(view):
+                    result |= mask
+        return result
+
+    def set_sizes(self) -> List[int]:
+        sizes: List[int] = []
+        for _, rows, view in self._source.iter_chunks(self._chunk_rows):
+            sizes.extend(self._chunk_popcounts(view, rows, self._universe))
+        return sizes
+
+    def element_lists(self, indices: "Sequence[int] | None" = None) -> List[List[int]]:
+        if indices is not None:
+            return [list(iter_bits(self._source.mask_at(i))) for i in indices]
+        lists: List[List[int]] = []
+        for _, _, view in self._source.iter_chunks(self._chunk_rows):
+            lists.extend(list(iter_bits(mask)) for mask in self._chunk_masks(view))
+        return lists
+
+    def claim_resolution(self, keys: Sequence[int]) -> List[int]:
+        # The shared claim sweep only needs random access to masks; the lazy
+        # rows decode one window at a time as the descending-key order walks
+        # them.
+        return claim_by_descending_keys(
+            self._n, LazyMaskRows(self._source, self._chunk_rows), keys
+        )
+
+    def gain_tracker(self, uncovered: int) -> "ChunkedGainTracker":
+        return ChunkedGainTracker(self, uncovered)
+
+    def prefers_tracker(self) -> bool:
+        # The CELF heap materialises one (gain, index) entry per set — an
+        # O(m)-memory structure that defeats windowing when m dwarfs the
+        # solution size (the out-of-core regime).  The windowed rescan pays
+        # one chunked scan per pick instead, at bounded memory; picks and
+        # traces are identical (first-max, smallest index) either way.
+        return True
+
+    def packed_bytes(self) -> bytes:
+        """Materialise the full buffer (escape hatch — not windowed)."""
+        return bytes(self._source.view())
+
+
+class ChunkedGainTracker:
+    """Rescan-on-demand tracker over the windowed kernel.
+
+    Each :meth:`best` is one chunked :meth:`ChunkedKernel.best_gain_index`
+    sweep — the same exact answers (and the same cost profile) as
+    :class:`~repro.kernels.pyint.PyGainTracker`, without any resident
+    per-incidence state.
+    """
+
+    def __init__(self, kernel: ChunkedKernel, uncovered: int) -> None:
+        self._kernel = kernel
+        self._uncovered = uncovered
+
+    def best(self) -> "tuple[int, int]":
+        return self._kernel.best_gain_index(self._uncovered)
+
+    def cover(self, newly: int) -> None:
+        self._uncovered &= ~newly
+
+
+def make_source_kernel(
+    source: InstanceSource,
+    backend: str = "auto",
+    chunk_rows: Optional[int] = None,
+) -> ChunkedKernel:
+    """Build the windowed kernel for a source (mirrors :func:`make_kernel`).
+
+    Wraps in the telemetry metering proxy only while capture is active, so
+    the telemetry-off path hands out the raw kernel unchanged.
+    """
+    kernel = ChunkedKernel(
+        source, backend=backend, chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS
+    )
+    from repro.telemetry import metrics
+
+    if metrics.active() is not None:
+        from repro.telemetry.instrument import instrument_kernel
+
+        return instrument_kernel(kernel)
+    return kernel
+
+
+__all__ = ["ChunkedGainTracker", "ChunkedKernel", "make_source_kernel"]

@@ -16,7 +16,11 @@ engine:
 * :mod:`repro.runtime.transport` — packed zero-copy instance transport:
   systems pickle as one contiguous incidence buffer, and
   :func:`shared_system` fans a single instance out to many tasks through
-  one :mod:`multiprocessing.shared_memory` segment.
+  one :mod:`multiprocessing.shared_memory` segment;
+* :mod:`repro.runtime.dispatch` — pluggable dispatch backends behind the
+  executor's submit/collect loop (``serial`` / ``local-process`` /
+  ``multihost-sim``), selected per run via ``TaskExecutor(dispatch=...)``
+  or ``repro run --dispatch``.
 
 Example — declare a two-repetition scenario and expand its tasks::
 
@@ -27,6 +31,11 @@ Example — declare a two-repetition scenario and expand its tasks::
     >>> unregister_scenario("runtime-doc-demo")
 """
 
+from repro.runtime.dispatch import (
+    DISPATCH_BACKENDS,
+    DispatchBackend,
+    resolve_dispatch,
+)
 from repro.runtime.executor import (
     RunReport,
     STATUS_CACHED,
@@ -68,6 +77,9 @@ from repro.runtime.transport import (
 
 __all__ = [
     "DEFAULT_ROOT_SEED",
+    "DISPATCH_BACKENDS",
+    "DispatchBackend",
+    "resolve_dispatch",
     "RunReport",
     "RuntimeTask",
     "STATUS_CACHED",

@@ -1,0 +1,278 @@
+"""Dispatch backends: how the executor's pending tasks reach their runners.
+
+The :class:`~repro.runtime.executor.TaskExecutor` owns *what* runs (store
+partitioning, settlement, submission-order merging); a dispatch backend owns
+*where* it runs.  Three backends ship:
+
+``serial``
+    In-process execution — the degrade path every other backend falls back
+    to, and the reference a parity check diffs against.
+``local-process``
+    Today's chunked :class:`concurrent.futures.ProcessPoolExecutor` pool,
+    with the full resilience ladder (respawn, timeout, breaker, serial
+    degrade).
+``multihost-sim``
+    Shards run in **separate interpreters** (``python -m
+    repro.runtime.hostsim``) that share nothing with the parent but the
+    environment and, when the instance rides a
+    :class:`~repro.setcover.source.SourceDescriptor`, the same mmap file or
+    shared-memory segment — proving the instance-plane seam end to end.  A
+    shard that crashes or times out is re-executed serially in the parent
+    at the next attempt generation, so results stay byte-identical.
+
+``auto`` resolves to what the executor always did: ``serial`` for one
+worker, ``local-process`` otherwise.  Every backend yields the same
+``(index, task, payload, elapsed, submit_wall)`` tuples in completion
+order; merging is by submission index downstream, so the dispatch choice
+can never change the merged bytes — only wall-clock and process layout.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.resilience.degrade import record_degradation
+from repro.runtime.tasks import RuntimeTask
+from repro.telemetry import metrics
+from repro.telemetry.spans import event
+
+#: Names accepted by ``dispatch=`` parameters and ``repro run --dispatch``.
+DISPATCH_BACKENDS = ("auto", "serial", "local-process", "multihost-sim")
+
+#: Poll interval while waiting on simulated-host shards (seconds).
+_HOSTSIM_POLL_SECONDS = 0.02
+
+_ExecuteItem = Tuple[int, RuntimeTask, Dict[str, Any], float, float]
+
+
+class DispatchBackend:
+    """Protocol: run pending ``(index, task)`` pairs, yield settled results.
+
+    ``execute`` is a generator so the executor can persist each result as
+    it lands and drain cleanly on ``KeyboardInterrupt`` (closing the
+    generator must release any processes the backend spawned).
+    """
+
+    name: str = "?"
+
+    def execute(
+        self,
+        executor,
+        pending: List[Tuple[int, RuntimeTask]],
+        capture: bool,
+    ) -> Iterator[_ExecuteItem]:
+        raise NotImplementedError
+
+
+class SerialDispatch(DispatchBackend):
+    """In-process execution — the reference semantics."""
+
+    name = "serial"
+
+    def execute(self, executor, pending, capture):
+        yield from executor._execute_serial(pending, capture)
+
+
+class LocalProcessDispatch(DispatchBackend):
+    """The chunked process pool (today's parallel path, unchanged)."""
+
+    name = "local-process"
+
+    def execute(self, executor, pending, capture):
+        yield from executor._execute_pool(pending, capture)
+
+
+class MultihostSimDispatch(DispatchBackend):
+    """Shards in separate interpreters against the same instance backing."""
+
+    name = "multihost-sim"
+
+    def execute(self, executor, pending, capture):
+        yield from _execute_multihost(executor, pending, capture)
+
+
+def resolve_dispatch(name: str = "auto", workers: int = 1) -> DispatchBackend:
+    """Resolve a dispatch request into a concrete backend.
+
+    ``auto`` preserves the executor's historical behaviour exactly: one
+    worker runs serial, more workers run the local process pool.
+    """
+    if name not in DISPATCH_BACKENDS:
+        raise ValueError(
+            f"dispatch must be one of {DISPATCH_BACKENDS}, got {name!r}"
+        )
+    if name == "auto":
+        name = "serial" if workers <= 1 else "local-process"
+    if name == "serial":
+        return SerialDispatch()
+    if name == "local-process":
+        return LocalProcessDispatch()
+    return MultihostSimDispatch()
+
+
+def _hostsim_environment() -> Dict[str, str]:
+    """The child interpreter's environment: ours, plus repro on the path.
+
+    The simulated host must import :mod:`repro` the same way this process
+    does even when it was launched from a checkout without installation, so
+    the package root is prepended to ``PYTHONPATH``.  Everything else —
+    ``REPRO_FAULTS``, ``REPRO_RETRY``, ``REPRO_KERNEL``, trace dirs — rides
+    through unchanged, which is what makes chaos and parity runs meaningful
+    across the host boundary.
+    """
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__))))
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + os.pathsep + existing if existing else package_root
+        )
+    return env
+
+
+def _execute_multihost(
+    executor,
+    pending: List[Tuple[int, RuntimeTask]],
+    capture: bool,
+) -> Iterator[_ExecuteItem]:
+    """Run chunks through ``repro.runtime.hostsim`` child interpreters.
+
+    Job and result files cross the host boundary as pickles in a private
+    temp directory (stand-ins for a shared filesystem between real hosts);
+    the instance buffer itself does *not* ride along when tasks carry a
+    source descriptor — each host reattaches to the same segment/file.  A
+    shard whose interpreter dies, exits non-zero, or outlives the ambient
+    per-task timeout is re-executed serially in the parent at the next
+    attempt generation (the same recovery shape as the pool backend), so
+    the merged report is byte-identical to a clean serial run.
+    """
+    from repro.resilience.policy import policy_from_env
+    from repro.runtime.executor import default_chunksize
+
+    if not pending:
+        return
+    policy = policy_from_env()
+    size = executor.chunksize or default_chunksize(len(pending), executor.workers)
+    queue: "deque[Tuple[List[Tuple[int, RuntimeTask]], int]]" = deque(
+        (pending[start : start + size], 0)
+        for start in range(0, len(pending), size)
+    )
+    workers = max(1, executor.workers)
+    workdir = tempfile.mkdtemp(prefix="repro-hostsim-")
+    env = _hostsim_environment()
+    # proc -> (chunk, attempt, submit_wall, out_path, deadline)
+    active: Dict[Any, Tuple[List[Tuple[int, RuntimeTask]], int, float, str, Optional[float]]] = {}
+    job_id = 0
+
+    def drain_serial() -> Iterator[_ExecuteItem]:
+        while queue:
+            chunk, attempt = queue.popleft()
+            yield from executor._execute_serial(chunk, capture, attempt)
+
+    try:
+        while queue or active:
+            while queue and len(active) < workers:
+                chunk, attempt = queue.popleft()
+                job_id += 1
+                in_path = os.path.join(workdir, f"job-{job_id}.pkl")
+                out_path = os.path.join(workdir, f"job-{job_id}.out.pkl")
+                with open(in_path, "wb") as handle:
+                    pickle.dump(
+                        {
+                            "tasks": [task for _, task in chunk],
+                            "capture": capture,
+                            "base_attempt": attempt,
+                        },
+                        handle,
+                    )
+                try:
+                    proc = subprocess.Popen(
+                        [sys.executable, "-m", "repro.runtime.hostsim", in_path, out_path],
+                        env=env,
+                        stdout=subprocess.DEVNULL,
+                        stderr=subprocess.DEVNULL,
+                    )
+                except OSError:  # pragma: no cover - sandbox fallback
+                    record_degradation(
+                        "serial_execution", reason="hostsim spawn failed"
+                    )
+                    queue.appendleft((chunk, attempt))
+                    yield from drain_serial()
+                    return
+                deadline = (
+                    time.monotonic() + policy.timeout * len(chunk)
+                    if policy.timeout is not None
+                    else None
+                )
+                active[proc] = (chunk, attempt, time.time(), out_path, deadline)
+
+            finished = [proc for proc in active if proc.poll() is not None]
+            now = time.monotonic()
+            expired = [
+                proc
+                for proc, info in active.items()
+                if proc not in finished and info[4] is not None and info[4] <= now
+            ]
+            for proc in expired:
+                metrics.add("executor.timeouts")
+                event("executor.timeout", chunks=1, dispatch="multihost-sim")
+                proc.kill()
+                proc.wait()
+                finished.append(proc)
+            if not finished:
+                time.sleep(_HOSTSIM_POLL_SECONDS)
+                continue
+            for proc in finished:
+                chunk, attempt, submit_wall, out_path, _ = active.pop(proc)
+                results = None
+                if proc.returncode == 0:
+                    try:
+                        with open(out_path, "rb") as handle:
+                            results = pickle.load(handle)
+                    except (OSError, pickle.UnpicklingError, EOFError):
+                        results = None
+                if results is None or len(results) != len(chunk):
+                    # Lost shard (crash, kill, torn result file): the same
+                    # recovery as a broken pool — re-execute only this chunk,
+                    # in the parent, at the next attempt generation.
+                    metrics.add("executor.worker_lost")
+                    event(
+                        "executor.worker_lost",
+                        error="HostExited",
+                        dispatch="multihost-sim",
+                    )
+                    yield from executor._execute_serial(chunk, capture, attempt + 1)
+                    continue
+                for (index, task), (payload, elapsed) in zip(chunk, results):
+                    payload, elapsed = executor._settle(
+                        task, payload, elapsed, capture, attempt
+                    )
+                    yield index, task, payload, elapsed, submit_wall
+    finally:
+        for proc in active:
+            try:
+                proc.kill()
+                proc.wait()
+            except Exception:  # pragma: no cover - best-effort reaping
+                pass
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+__all__ = [
+    "DISPATCH_BACKENDS",
+    "DispatchBackend",
+    "LocalProcessDispatch",
+    "MultihostSimDispatch",
+    "SerialDispatch",
+    "resolve_dispatch",
+]

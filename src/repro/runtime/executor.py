@@ -284,14 +284,22 @@ class TaskExecutor:
         workers: int = 1,
         store: Optional[ResultStore] = None,
         chunksize: Optional[int] = None,
+        dispatch: str = "auto",
     ) -> None:
+        from repro.runtime.dispatch import DISPATCH_BACKENDS
+
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        if dispatch not in DISPATCH_BACKENDS:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_BACKENDS}, got {dispatch!r}"
+            )
         self.workers = workers
         self.store = store
         self.chunksize = chunksize
+        self.dispatch = dispatch
 
     def run(self, tasks: Iterable[RuntimeTask]) -> RunReport:
         """Execute the batch and return submission-ordered outcomes.
@@ -473,14 +481,35 @@ class TaskExecutor:
     ) -> Iterator[Tuple[int, RuntimeTask, Dict[str, Any], float, float]]:
         """Yield ``(index, task, payload, elapsed, submit_wall)`` as tasks finish.
 
-        Completion order, not submission order — the caller persists each
-        result eagerly and re-sorts by index afterwards.  Tasks ship to the
-        workers in contiguous chunks so a large grid pays one pickle/IPC
-        round trip per chunk instead of per task.  Worker-spawn failure
-        (restricted sandboxes) degrades to the serial path; a task's own
-        exception propagates unchanged.  ``submit_wall`` is the wall-clock
-        instant the task was handed to its runner (queue-wait accounting);
-        ``capture`` turns on telemetry capture inside the workers.
+        Routes the pending work through the configured
+        :class:`~repro.runtime.dispatch.DispatchBackend`: ``auto`` preserves
+        the historical behaviour (serial for one worker, the local process
+        pool otherwise), and a single pending task always runs serially —
+        any cross-process dispatch is pure overhead for it.  Every backend
+        yields completion order, not submission order; the caller persists
+        each result eagerly and re-sorts by index afterwards, so the
+        dispatch choice can never change the merged bytes.
+        """
+        from repro.runtime.dispatch import resolve_dispatch
+
+        backend = resolve_dispatch(self.dispatch, self.workers)
+        if backend.name == "local-process" and len(pending) <= 1:
+            yield from self._execute_serial(pending, capture)
+            return
+        yield from backend.execute(self, pending, capture)
+
+    def _execute_pool(
+        self, pending: List[Tuple[int, RuntimeTask]], capture: bool = False
+    ) -> Iterator[Tuple[int, RuntimeTask, Dict[str, Any], float, float]]:
+        """The ``local-process`` dispatch body: the chunked worker pool.
+
+        Tasks ship to the workers in contiguous chunks so a large grid pays
+        one pickle/IPC round trip per chunk instead of per task.  Worker-
+        spawn failure (restricted sandboxes) degrades to the serial path; a
+        task's own exception propagates unchanged.  ``submit_wall`` is the
+        wall-clock instant the task was handed to its runner (queue-wait
+        accounting); ``capture`` turns on telemetry capture inside the
+        workers.
 
         A broken pool (crashed worker) or an expired per-task deadline
         abandons the pool, counts the loss, and requeues every unconsumed
@@ -489,8 +518,7 @@ class TaskExecutor:
         in-process (:func:`record_degradation`).  Re-execution only ever
         costs wall-clock: tasks are pure, so the merged bytes are identical.
         """
-        if self.workers <= 1 or len(pending) <= 1:
-            yield from self._execute_serial(pending, capture)
+        if not pending:
             return
 
         policy = policy_from_env()

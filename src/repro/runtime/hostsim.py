@@ -1,0 +1,59 @@
+"""Simulated-host worker: one shard of tasks in its own interpreter.
+
+The entry point behind the ``multihost-sim`` dispatch backend
+(:mod:`repro.runtime.dispatch`).  Invoked as::
+
+    python -m repro.runtime.hostsim JOB_PICKLE RESULT_PICKLE
+
+The job pickle carries ``{"tasks": [RuntimeTask, ...], "capture": bool,
+"base_attempt": int}``.  Tasks run through the exact same
+``_timed_execute_chunk`` worker entry the process pool uses — fault
+injection, retry, telemetry capture and payload integrity all behave
+identically — and the ``(payload, elapsed)`` list is written to the result
+path atomically (temp file + ``os.replace``), so the parent never reads a
+torn result: a crashed host leaves either no result file or a complete one.
+
+Tasks that embed a :class:`~repro.setcover.source.SourceDescriptor` reattach
+to the same mmap container file or shared-memory segment from this separate
+interpreter — nothing instance-sized crosses the job pickle.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+from typing import List, Optional, Sequence
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run one shard: load the job, execute, publish the result atomically."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 2:
+        print("usage: python -m repro.runtime.hostsim JOB_PICKLE RESULT_PICKLE", file=sys.stderr)
+        return 2
+    job_path, result_path = args
+    with open(job_path, "rb") as handle:
+        job = pickle.load(handle)
+
+    from repro.resilience.faults import mark_worker_process
+    from repro.runtime.executor import _timed_execute_chunk
+
+    # Injected ``crash`` faults must take the worker path (os._exit) so the
+    # parent observes a dead host, exactly like a pool worker crash.
+    mark_worker_process()
+    results: List = _timed_execute_chunk(
+        job["tasks"], job.get("capture", False), job.get("base_attempt", 0)
+    )
+
+    tmp_path = result_path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        pickle.dump(results, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, result_path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -18,7 +18,6 @@ Example — a task is its runner name plus frozen kwargs and a seed::
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -70,18 +69,34 @@ def _listify(value: Any) -> Any:
     concrete instance rather than generator knobs) is fingerprinted by the
     digest of its packed incidence buffer — stable across processes and
     backends, and a few dozen bytes in the store instead of the instance.
-    The instance itself still crosses the process boundary in packed form
-    via the system's pickle support.
+    A :class:`~repro.setcover.source.SourceDescriptor` parameter (tasks
+    that carry a *reference* to a shared or file-backed instance)
+    fingerprints to the **same** shape from its carried digest — so a
+    sweep over an mmap-backed instance hits exactly the cache entries a
+    heap-backed run of the same bytes wrote, which is what makes
+    skip/resume backing-independent.
     """
     if isinstance(value, tuple):
         return [_listify(item) for item in value]
     if isinstance(value, SetSystem):
-        packed = value.to_packed()
-        digest = hashlib.sha256(packed.buffer).hexdigest()
+        return {
+            "__set_system__": value.content_digest(),
+            "universe_size": value.universe_size,
+            "num_sets": value.num_sets,
+        }
+    from repro.setcover.source import SourceDescriptor
+
+    if isinstance(value, SourceDescriptor):
+        digest = value.digest
+        if digest is None:
+            from repro.setcover.source import open_source
+
+            with open_source(value) as source:
+                digest = source.digest()
         return {
             "__set_system__": digest,
-            "universe_size": packed.universe_size,
-            "num_sets": packed.num_sets,
+            "universe_size": value.universe_size,
+            "num_sets": value.num_sets,
         }
     return value
 

@@ -8,7 +8,8 @@ boundary without pickling per-set Python objects:
   :class:`~repro.setcover.PackedSetSystem`), so any system embedded in a
   task, a ``parallel_map`` item, or a result ships as a single bytes blob.
   The receiving side's NumPy kernel adopts the buffer with one ``frombuffer``
-  — no repacking.
+  — no repacking.  Source-backed systems go one better and ship only their
+  :class:`~repro.setcover.source.SourceDescriptor`.
 
 * **Shared memory** (opt-in, this module): for sweeps that fan *one* instance
   out to many tasks, :func:`shared_system` publishes the packed buffer once
@@ -16,6 +17,14 @@ boundary without pickling per-set Python objects:
   tiny :class:`SharedSystemHandle` (segment name + scalars).  Each worker
   attaches and rebuilds locally, so a W-task sweep pays one buffer write
   total instead of W pickled copies.
+
+Since the instance-plane refactor both mechanisms are thin veneers over
+:class:`~repro.setcover.source.SharedMemorySource` — the shared-memory
+*backing* of the pluggable :class:`~repro.setcover.source.InstanceSource`
+seam — rather than a parallel code path.  The handle API (and its
+copy-and-detach ``load()`` semantics) is unchanged; callers who want
+windowed, attach-and-stay access use ``publication.source`` /
+``SetSystem.from_source`` instead.
 
 The handle is an ordinary picklable value: put it in the per-task settings of
 a :class:`~repro.experiments.harness.SweepRunner` sweep (or any
@@ -37,8 +46,12 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
-from repro.exceptions import SharedSegmentLostError
-from repro.setcover.instance import PackedSetSystem, SetSystem, packed_row_bytes
+from repro.setcover.instance import SetSystem, packed_row_bytes
+from repro.setcover.source import (
+    SharedMemorySource,
+    SourceDescriptor,
+    _with_attach_faults,
+)
 
 
 @dataclass(frozen=True)
@@ -60,6 +73,17 @@ class SharedSystemHandle:
         """Size of the packed incidence buffer inside the segment."""
         return self.num_sets * packed_row_bytes(self.universe_size)
 
+    def descriptor(self) -> SourceDescriptor:
+        """This handle as an instance-plane :class:`SourceDescriptor`."""
+        return SourceDescriptor(
+            kind="shared",
+            universe_size=self.universe_size,
+            num_sets=self.num_sets,
+            backend=self.backend,
+            names=self.names,
+            segment=self.segment,
+        )
+
     def load(self) -> SetSystem:
         """Attach to the segment and rebuild the system.
 
@@ -70,24 +94,7 @@ class SharedSystemHandle:
         attach failures retry under the ambient policy — an attach never
         mutates anything, so retrying is free of side effects.
         """
-        from repro.resilience.faults import current_attempt, faults_enabled, inject
-
-        if not faults_enabled():
-            return self._attach_and_rebuild()
-
-        from repro.resilience.policy import policy_from_env, retry_call
-
-        def attach_once(relative: int) -> SetSystem:
-            inject(
-                "transport.attach",
-                key=self.segment,
-                attempt=current_attempt() + relative,
-            )
-            return self._attach_and_rebuild()
-
-        return retry_call(
-            attach_once, policy=policy_from_env(), path=("attach", self.segment)
-        )
+        return _with_attach_faults(self.segment, self._attach_and_rebuild)
 
     def _attach_and_rebuild(self) -> SetSystem:
         """One attach attempt: copy the buffer out, detach, rebuild.
@@ -99,40 +106,12 @@ class SharedSystemHandle:
         attempt was lost, nothing was mutated, and the ambient retry policy
         (or the service's handle refresh) is the right recovery.
         """
-        from multiprocessing import shared_memory
-
+        source = SharedMemorySource._attach_segment(self.descriptor())
         try:
-            block = shared_memory.SharedMemory(name=self.segment)
-        except FileNotFoundError:
-            raise SharedSegmentLostError(self.segment) from None
-        try:
-            buffer = bytes(block.buf[: self.buffer_bytes])
+            packed = source.to_packed()
         finally:
-            # Attaching registers the segment with multiprocessing's
-            # resource tracker, which close() does not undo on Python < 3.13
-            # (cpython #82300): without the unregister, every worker attach
-            # produces "leaked shared_memory" noise at interpreter shutdown
-            # once the publisher unlinks.  The publisher's own close() still
-            # unlinks deterministically, so dropping the tracker entry is
-            # safe.
-            try:
-                from multiprocessing import resource_tracker
-
-                resource_tracker.unregister(
-                    getattr(block, "_name", self.segment), "shared_memory"
-                )
-            except Exception:  # pragma: no cover - tracker-less platforms
-                pass
-            block.close()
-        return SetSystem.from_packed(
-            PackedSetSystem(
-                universe_size=self.universe_size,
-                num_sets=self.num_sets,
-                buffer=buffer,
-                names=self.names,
-                backend=self.backend,
-            )
-        )
+            source.close()
+        return SetSystem.from_packed(packed)
 
 
 class SharedSystemPublication:
@@ -144,32 +123,27 @@ class SharedSystemPublication:
     """
 
     def __init__(self, system: SetSystem) -> None:
-        from multiprocessing import shared_memory
-
-        packed = system.to_packed()
-        self._shm = shared_memory.SharedMemory(
-            create=True, size=max(1, len(packed.buffer))
-        )
-        self._shm.buf[: len(packed.buffer)] = packed.buffer
+        self._source = SharedMemorySource.publish(system.to_packed())
         self.handle = SharedSystemHandle(
-            segment=self._shm.name,
-            universe_size=packed.universe_size,
-            num_sets=packed.num_sets,
-            names=packed.names,
-            backend=packed.backend,
+            segment=self._source.segment,
+            universe_size=self._source.universe_size,
+            num_sets=self._source.num_sets,
+            names=self._source.names,
+            backend=self._source.backend,
         )
-        self._closed = False
+
+    @property
+    def source(self) -> SharedMemorySource:
+        """The owning shared-memory source behind this publication."""
+        return self._source
+
+    def descriptor(self) -> SourceDescriptor:
+        """The instance-plane descriptor of the published segment."""
+        return self._source.descriptor()
 
     def close(self) -> None:
         """Detach and unlink the segment (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        self._shm.close()
-        try:
-            self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
+        self._source.close()
 
     def __enter__(self) -> SharedSystemHandle:
         return self.handle

@@ -16,6 +16,12 @@ Grammar: ``NAME=GENERATOR:key=value,...``.  Generators:
 ``planted``    :func:`~repro.workloads.random_instances.plant_cover_instance`
                — keys ``n``, ``m``, ``cover`` (planted optimum), optional
                ``overlap``, ``seed``
+``file``       a container file written by
+               :func:`~repro.workloads.outofcore.generate_to_file` or
+               ``SetSystem.to_file`` — keys ``path`` (required) and
+               optional ``backing`` (``mmap``, the default, serves the
+               instance windowed straight off disk; ``heap`` loads it
+               resident)
 =============  ==========================================================
 
 Every generator accepts ``backend`` (``auto``/``python``/``numpy``) so the
@@ -33,7 +39,6 @@ Example — specs are deterministic and name-addressable::
 
 from __future__ import annotations
 
-import hashlib
 from typing import Any, Dict, Tuple
 
 from repro.setcover.instance import SetSystem
@@ -85,6 +90,43 @@ def build_instance(spec: str) -> Tuple[str, SetSystem]:
     generator = generator.strip().lower()
     options = _parse_kv(clauses)
     backend = options.pop("backend", "auto")
+
+    if generator == "file":
+        # References an on-disk container rather than generating; ``n``/``m``
+        # come from the container header, not the spec.
+        path = options.get("path")
+        if not path:
+            raise InstanceSpecError("file instance spec requires a 'path' key")
+        backing = options.get("backing", "mmap")
+        unknown = set(options) - {"path", "backing"}
+        if unknown:
+            raise InstanceSpecError(
+                f"unknown instance key(s) {sorted(unknown)} in {spec!r}"
+            )
+        if backing not in ("mmap", "heap"):
+            raise InstanceSpecError(
+                f"file instance backing must be 'mmap' or 'heap', got {backing!r}"
+            )
+        from repro.exceptions import InstanceSourceLostError
+        from repro.setcover.source import MmapSource
+
+        try:
+            source = MmapSource.open(path)
+        except (ValueError, OSError, InstanceSourceLostError) as error:
+            raise InstanceSpecError(f"cannot open instance file {path!r}: {error}")
+        if backing == "heap":
+            try:
+                system = SetSystem.from_packed(source.to_packed())
+            finally:
+                source.close()
+            if backend != "auto":
+                system = _rebackend(system, backend)
+        else:
+            system = SetSystem.from_source(
+                source, backend=None if backend == "auto" else backend
+            )
+        return name, system
+
     n = _as_int(options, "n", required=True)
     m = _as_int(options, "m", required=True)
     seed = _as_int(options, "seed", default=0)
@@ -109,7 +151,8 @@ def build_instance(spec: str) -> Tuple[str, SetSystem]:
         ).system
     else:
         raise InstanceSpecError(
-            f"unknown instance generator {generator!r}; expected 'random' or 'planted'"
+            f"unknown instance generator {generator!r}; "
+            "expected 'random', 'planted', or 'file'"
         )
     unknown = set(options) - known
     if unknown:
@@ -132,10 +175,11 @@ def instance_digest(system: SetSystem) -> str:
 
     The same digest the runtime's task fingerprinting uses for concrete
     systems (:func:`repro.runtime.tasks._listify`): SHA-256 over the packed
-    incidence buffer, stable across processes and compute backends — the
-    anchor of the service's response-cache fingerprints.
+    incidence buffer, stable across processes, compute backends, and
+    instance backings — a file-backed system answers from its container
+    header digest without materialising the buffer.
     """
-    return hashlib.sha256(system.to_packed().buffer).hexdigest()
+    return system.content_digest()
 
 
 __all__ = [

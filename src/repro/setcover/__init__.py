@@ -12,6 +12,18 @@ from repro.setcover.instance import (
     SetSystem,
     packed_row_bytes,
 )
+from repro.setcover.source import (
+    ContainerWriter,
+    HeapSource,
+    InstanceSource,
+    MmapSource,
+    SharedMemorySource,
+    SourceBackedSetSystem,
+    SourceDescriptor,
+    open_source,
+    read_container_header,
+    write_container,
+)
 from repro.setcover.greedy import greedy_set_cover, greedy_cover_trace
 from repro.setcover.exact import exact_set_cover, exact_cover_value, brute_force_set_cover
 from repro.setcover.maxcover import (
@@ -28,6 +40,16 @@ __all__ = [
     "SetSystem",
     "SetCoverInstance",
     "packed_row_bytes",
+    "ContainerWriter",
+    "HeapSource",
+    "InstanceSource",
+    "MmapSource",
+    "SharedMemorySource",
+    "SourceBackedSetSystem",
+    "SourceDescriptor",
+    "open_source",
+    "read_container_header",
+    "write_container",
     "greedy_set_cover",
     "greedy_cover_trace",
     "exact_set_cover",

@@ -223,11 +223,16 @@ class SetSystem:
     def to_packed(self) -> PackedSetSystem:
         """Serialise into the compact packed form (see :class:`PackedSetSystem`).
 
-        When the NumPy kernel is already built its matrix is exported
-        directly; otherwise each mask is written as one fixed-width
-        little-endian row.  The inverse is :meth:`from_packed`.
+        A system built :meth:`from_packed` keeps its transported buffer and
+        returns it here unchanged (masks are immutable after construction,
+        so the cached bytes can never go stale) — round-tripping through the
+        packed form costs zero copies.  Otherwise the already-built NumPy
+        kernel exports its matrix, or each mask is written as one
+        fixed-width little-endian row.  The inverse is :meth:`from_packed`.
         """
-        if self._kernel is not None and hasattr(self._kernel, "packed_bytes"):
+        if self._packed is not None:
+            buffer = self._packed
+        elif self._kernel is not None and hasattr(self._kernel, "packed_bytes"):
             buffer = self._kernel.packed_bytes()
         else:
             stride = packed_row_bytes(self._n)
@@ -259,8 +264,60 @@ class SetSystem:
             list(packed.names) if packed.names is not None else None,
             backend=packed.backend,
         )
-        system._packed = bytes(buffer)
+        # Adopt the transported bytes without copying (memoryviews and
+        # bytearrays still get one defensive copy); the NumPy kernel later
+        # adopts the same object via frombuffer, so unpickle → kernel is
+        # zero-copy end to end.
+        system._packed = buffer if isinstance(buffer, bytes) else bytes(buffer)
         return system
+
+    @classmethod
+    def from_source(cls, source, backend: Optional[str] = None) -> "SetSystem":
+        """Build a system over an :class:`~repro.setcover.source.InstanceSource`.
+
+        Heap sources rebuild through the ordinary :meth:`from_packed` path
+        (the buffer is already resident bytes); windowed sources (shared
+        memory, mmap) come back as a
+        :class:`~repro.setcover.source.SourceBackedSetSystem` whose masks
+        decode lazily and whose batched queries run on the chunked kernel,
+        so no single query materialises more than a bounded window.
+        """
+        if getattr(source, "windowed", False):
+            from repro.setcover.source import SourceBackedSetSystem
+
+            return SourceBackedSetSystem(source, backend=backend)
+        packed = source.to_packed()
+        if backend is not None and backend != packed.backend:
+            from dataclasses import replace
+
+            packed = replace(packed, backend=backend)
+        return cls.from_packed(packed)
+
+    def to_file(self, path: str):
+        """Write this system to an on-disk container file.
+
+        Returns the :class:`~repro.setcover.source.SourceDescriptor` that
+        reopens it (``open_source`` / ``repro run --instance-file``).
+        """
+        from repro.setcover.source import write_container
+
+        return write_container(path, self.to_packed())
+
+    def content_digest(self) -> str:
+        """SHA-256 of the packed incidence buffer — the system's identity.
+
+        The exact digest task fingerprinting uses, stable across processes,
+        compute backends, and source backings (file-backed systems answer
+        from their header without rescanning the buffer).
+        """
+        import hashlib
+
+        return hashlib.sha256(self.to_packed().buffer).hexdigest()
+
+    @property
+    def backing(self) -> str:
+        """Which backing holds the incidence buffer (``heap`` here)."""
+        return "heap"
 
     def __getstate__(self) -> Dict[str, object]:
         # Ship the packed incidence buffer, not the per-set Python integers:
@@ -278,6 +335,17 @@ class SetSystem:
         }
 
     def __setstate__(self, state: Dict[str, object]) -> None:
+        if "source" in state:
+            # A source-backed system pickled as its descriptor: reattach to
+            # the same segment/file on this side instead of shipping bytes.
+            from repro.setcover.source import open_source
+
+            rebuilt = SetSystem.from_source(
+                open_source(state["source"]),  # type: ignore[arg-type]
+                backend=state.get("backend"),  # type: ignore[arg-type]
+            )
+            self.__dict__.update(rebuilt.__dict__)
+            return
         rebuilt = SetSystem.from_packed(
             PackedSetSystem(
                 universe_size=state["universe_size"],  # type: ignore[arg-type]

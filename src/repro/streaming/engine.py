@@ -99,6 +99,7 @@ class MultiPassEngine:
             n=system.universe_size,
             m=system.num_sets,
             order=self.config.order.value,
+            backing=system.backing,
         ) as active:
             result = algorithm.run(stream)
             active.set(

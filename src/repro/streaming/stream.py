@@ -124,6 +124,7 @@ class SetStream:
             number=self._passes_consumed,
             mode="iterate",
             m=self._system.num_sets,
+            backing=self._system.backing,
         )
         metrics.add("stream.passes")
         metrics.add("stream.sets_streamed", self._system.num_sets)
@@ -153,6 +154,7 @@ class SetStream:
             number=self._passes_consumed,
             mode="batched",
             m=self._system.num_sets,
+            backing=self._system.backing,
         )
         metrics.add("stream.passes")
         metrics.add("stream.sets_streamed", self._system.num_sets)

@@ -19,11 +19,13 @@ from repro.workloads.adversarial import (
     dmc_stream_instance,
 )
 from repro.workloads.io import (
+    dump_instance,
     dumps_instance,
     loads_instance,
     save_instance,
     load_instance,
 )
+from repro.workloads.outofcore import generate_to_file
 
 __all__ = [
     "random_set_system",
@@ -35,7 +37,9 @@ __all__ = [
     "topic_coverage_instance",
     "dsc_stream_instance",
     "dmc_stream_instance",
+    "dump_instance",
     "dumps_instance",
+    "generate_to_file",
     "loads_instance",
     "save_instance",
     "load_instance",

@@ -303,3 +303,83 @@ class TestLoadgenExitCode:
         assert main(["loadgen", "--port", "1", "--json", str(out)]) == 0
         payload = json.loads(out.read_text())
         assert payload["wrong"] == 0 and payload["ok"] == 1
+
+
+class TestInstancePlaneFlags:
+    def gen(self, tmp_path, capsys):
+        path = tmp_path / "inst.repro"
+        assert main(
+            ["gen-instance", str(path), "--n", "48", "--m", "64", "--seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "digest:" in out and str(path) in out
+        return path
+
+    def test_gen_instance_matches_in_memory(self, tmp_path, capsys):
+        path = self.gen(tmp_path, capsys)
+        from repro.workloads.random_instances import random_set_system
+
+        expected = random_set_system(48, 64, seed=7).content_digest()
+        from repro.setcover.source import read_container_header
+
+        header, _ = read_container_header(path)
+        assert header["digest"] == expected
+
+    def test_gen_instance_rejects_conflicting_knobs(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["gen-instance", str(tmp_path / "x.repro"), "--n", "8", "--m", "4",
+                 "--set-size", "2", "--density", "0.5"]
+            )
+
+    def test_run_header_reports_instance_and_dispatch(self, tmp_path, capsys):
+        path = self.gen(tmp_path, capsys)
+        cell = "ADV[algorithm=saha_getoor,order=random,workload=random]"
+        assert main(
+            ["run", cell, "--quiet", "--dispatch", "serial",
+             "--instance-file", str(path), "--instance-backing", "heap"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# dispatch: serial" in out
+        assert "backing=heap" in out and "tasks=1/1" in out
+
+    def test_instance_flags_alone_route_through_runtime(self, tmp_path, capsys):
+        path = self.gen(tmp_path, capsys)
+        cell = "ADV[algorithm=saha_getoor,order=random,workload=random]"
+        assert main(["run", cell, "--quiet", "--instance-file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"[{cell}] computed" in out  # runtime-style status line
+
+    def test_missing_instance_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="instance-file"):
+            main(
+                ["run", "E12", "--quiet",
+                 "--instance-file", str(tmp_path / "nope.repro")]
+            )
+
+    def test_scenarios_detail_reports_instance_capable(self, capsys):
+        assert main(["scenarios", "WL"]) == 0
+        assert "instance-capable: yes" in capsys.readouterr().out
+        assert main(["scenarios", "E12"]) == 0
+        assert "instance-capable: no" in capsys.readouterr().out
+
+    def test_trace_records_dispatch_and_backing(self, tmp_path, capsys):
+        path = self.gen(tmp_path, capsys)
+        cell = "ADV[algorithm=saha_getoor,order=random,workload=random]"
+        trace_dir = tmp_path / "trace"
+        assert main(
+            ["run", cell, "--quiet", "--trace", str(trace_dir),
+             "--dispatch", "serial", "--instance-file", str(path)]
+        ) == 0
+        records = []
+        for trace_file in trace_dir.glob("*.jsonl"):
+            for line in trace_file.read_text().splitlines():
+                records.append(json.loads(line))
+        sessions = [r for r in records if r.get("attrs", {}).get("dispatch")]
+        assert any(
+            r["attrs"]["dispatch"] == "serial"
+            and r["attrs"].get("instance_backing") == "mmap"
+            for r in sessions
+        )
+        passes = [r for r in records if r.get("name") == "stream.pass"]
+        assert passes and all(r["attrs"]["backing"] == "mmap" for r in passes)

@@ -1,0 +1,285 @@
+"""Dispatch backends: serial / local-process / multihost-sim parity and resume.
+
+The contract: the dispatch backend is pure mechanism.  Submission-order
+merging plus content-addressed caching mean every backend — including the
+subprocess-per-chunk multihost simulation — produces byte-identical
+payloads, stores, and stdout; and a run killed mid-grid resumes from its
+store to exactly the clean serial bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.resilience.durability import canonical_json
+from repro.resilience.faults import FAULTS_ENV_VAR
+from repro.resilience.policy import RETRY_ENV_VAR
+from repro.runtime import ResultStore, RuntimeTask, TaskExecutor, freeze_params
+from repro.runtime.dispatch import DISPATCH_BACKENDS, resolve_dispatch
+from repro.setcover.source import MmapSource
+from repro.telemetry.session import TelemetrySession
+from repro.workloads.outofcore import generate_to_file
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_faults(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+    monkeypatch.delenv(RETRY_ENV_VAR, raising=False)
+
+
+def grid_tasks(descriptor=None):
+    """Cheap mixed grid: E12 cells plus WL cells, optionally file-backed."""
+    tasks = [
+        RuntimeTask(
+            key=f"E12[t={t},seed={seed}]",
+            runner="E12",
+            params=freeze_params({"t": t}),
+            seed=seed,
+        )
+        for t in (2, 3)
+        for seed in (1, 2)
+    ]
+    wl_params = {"workload": "random", "algorithm": "saha_getoor", "order": "random"}
+    if descriptor is not None:
+        wl_params["instance"] = descriptor
+    tasks.append(
+        RuntimeTask(
+            key="WL[file]", runner="WL", params=freeze_params(wl_params), seed=5
+        )
+    )
+    return tasks
+
+
+def payload_bytes(report):
+    return [canonical_json(outcome.payload) for outcome in report.outcomes]
+
+
+class TestResolveDispatch:
+    def test_auto_picks_from_workers(self):
+        assert resolve_dispatch("auto", workers=1).name == "serial"
+        assert resolve_dispatch("auto", workers=4).name == "local-process"
+
+    def test_explicit_names_resolve(self):
+        for name in ("serial", "local-process", "multihost-sim"):
+            assert resolve_dispatch(name, workers=2).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="dispatch"):
+            resolve_dispatch("carrier-pigeon", workers=2)
+        with pytest.raises(ValueError, match="dispatch"):
+            TaskExecutor(dispatch="carrier-pigeon")
+
+    def test_registry_is_the_cli_choice_list(self):
+        assert DISPATCH_BACKENDS == ("auto", "serial", "local-process", "multihost-sim")
+
+
+class TestDispatchParity:
+    def test_all_backends_same_bytes(self, tmp_path):
+        descriptor = generate_to_file(tmp_path / "inst.repro", 48, 64, seed=7)
+        baseline = payload_bytes(
+            TaskExecutor(workers=1, dispatch="serial").run(grid_tasks(descriptor))
+        )
+        for dispatch in ("local-process", "multihost-sim"):
+            report = TaskExecutor(workers=3, dispatch=dispatch).run(
+                grid_tasks(descriptor)
+            )
+            assert payload_bytes(report) == baseline, dispatch
+            assert [o.status for o in report.outcomes] == ["computed"] * 5
+
+    def test_backing_never_changes_bytes(self, tmp_path):
+        path = tmp_path / "inst.repro"
+        generate_to_file(path, 48, 64, seed=7)
+        with MmapSource.open(path) as source:
+            packed = source.to_packed()
+            mmap_desc = source.descriptor()
+        from repro.setcover.source import HeapSource, SharedMemorySource
+
+        heap_desc = HeapSource.from_packed(packed).descriptor()
+        shared = SharedMemorySource.publish(packed)
+        try:
+            reports = {
+                kind: payload_bytes(
+                    TaskExecutor(workers=1).run(grid_tasks(descriptor))
+                )
+                for kind, descriptor in (
+                    ("mmap", mmap_desc),
+                    ("heap", heap_desc),
+                    ("shared", shared.descriptor()),
+                )
+            }
+        finally:
+            shared.close()
+        assert reports["mmap"] == reports["heap"] == reports["shared"]
+
+    def test_backing_shares_cache_entries(self, tmp_path):
+        path = tmp_path / "inst.repro"
+        generate_to_file(path, 48, 64, seed=7)
+        with MmapSource.open(path) as source:
+            packed = source.to_packed()
+            mmap_desc = source.descriptor()
+        from repro.setcover.source import HeapSource
+
+        store = ResultStore(tmp_path / "store")
+        first = TaskExecutor(workers=1, store=store).run(grid_tasks(mmap_desc))
+        assert [o.status for o in first.outcomes] == ["computed"] * 5
+        heap_desc = HeapSource.from_packed(packed).descriptor()
+        second = TaskExecutor(workers=1, store=store).run(grid_tasks(heap_desc))
+        assert [o.status for o in second.outcomes] == ["cached"] * 5
+        assert payload_bytes(second) == payload_bytes(first)
+
+
+class TestMultihostRecovery:
+    def test_worker_crash_recovers_to_identical_bytes(self, monkeypatch, tmp_path):
+        descriptor = generate_to_file(tmp_path / "inst.repro", 48, 64, seed=7)
+        baseline = payload_bytes(
+            TaskExecutor(workers=1, dispatch="serial").run(grid_tasks(descriptor))
+        )
+        monkeypatch.setenv(FAULTS_ENV_VAR, "seed=11,executor.submit:crash:1:1")
+        with TelemetrySession(label="hostsim-crash") as session:
+            report = TaskExecutor(workers=2, dispatch="multihost-sim").run(
+                grid_tasks(descriptor)
+            )
+        counters = session.registry.snapshot()["counters"]
+        assert payload_bytes(report) == baseline
+        assert counters.get("executor.worker_lost", 0) > 0
+
+    def test_hostsim_entry_rejects_bad_usage(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.runtime.hostsim"],
+            env={**os.environ, "PYTHONPATH": REPO_SRC},
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 2
+
+    def test_hostsim_entry_executes_a_chunk(self, tmp_path):
+        tasks = grid_tasks()[:2]
+        job = tmp_path / "job.pkl"
+        out = tmp_path / "result.pkl"
+        job.write_bytes(pickle.dumps({"tasks": tasks, "capture": False}))
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.runtime.hostsim", str(job), str(out)],
+            env={**os.environ, "PYTHONPATH": REPO_SRC},
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        results = pickle.loads(out.read_bytes())
+        assert len(results) == len(tasks)
+
+    def test_spawn_failure_degrades_to_serial(self, monkeypatch, tmp_path):
+        descriptor = generate_to_file(tmp_path / "inst.repro", 48, 64, seed=7)
+        baseline = payload_bytes(
+            TaskExecutor(workers=1, dispatch="serial").run(grid_tasks(descriptor))
+        )
+
+        def no_spawn(*args, **kwargs):
+            raise OSError("spawn refused")
+
+        import repro.runtime.dispatch as dispatch_module
+
+        monkeypatch.setattr(dispatch_module.subprocess, "Popen", no_spawn)
+        report = TaskExecutor(workers=2, dispatch="multihost-sim").run(
+            grid_tasks(descriptor)
+        )
+        assert payload_bytes(report) == baseline
+
+
+def store_payloads(store_dir):
+    """Store payload files keyed by relative path, stats journals excluded."""
+    out = {}
+    for path in sorted(Path(store_dir).rglob("*")):
+        if path.is_file() and "stats_journal" not in path.parts:
+            out[str(path.relative_to(store_dir))] = path.read_bytes()
+    return out
+
+
+class TestKilledRunResumes:
+    """Satellite: SIGKILL mid-grid under chaos, resume to clean-serial bytes."""
+
+    CELLS = [
+        f"ADV[algorithm={algorithm},order={order},workload=random]"
+        for algorithm in ("algorithm1", "saha_getoor", "emek_rosen", "demaine")
+        for order in ("adversarial", "random")
+    ]
+
+    def run_cli(self, args, env_extra=None, check=True):
+        env = {**os.environ, "PYTHONPATH": REPO_SRC}
+        env.pop(FAULTS_ENV_VAR, None)
+        env.update(env_extra or {})
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", *args],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if check:
+            assert result.returncode == 0, result.stderr + result.stdout
+        return result
+
+    def test_resume_matches_clean_serial(self, tmp_path):
+        instance = tmp_path / "inst.repro"
+        self.run_cli(["gen-instance", str(instance), "--n", "48", "--m", "64", "--seed", "7"])
+
+        clean = tmp_path / "store-clean"
+        self.run_cli(
+            ["run", *self.CELLS, "--quiet", "--store", str(clean),
+             "--dispatch", "serial", "--instance-file", str(instance)]
+        )
+
+        # Chaos leg: multihost dispatch, recoverable crash faults in the
+        # workers, and a SIGKILL the moment the store holds some entries.
+        resumed = tmp_path / "store-resumed"
+        env = {**os.environ, "PYTHONPATH": REPO_SRC,
+               FAULTS_ENV_VAR: "seed=3,executor.submit:crash:0.4:1"}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "run", *self.CELLS, "--quiet",
+             "--store", str(resumed), "--dispatch", "multihost-sim",
+             "--workers", "2", "--instance-file", str(instance)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 60
+        killed = False
+        while time.monotonic() < deadline:
+            entries = [
+                p for p in resumed.rglob("*.json") if "quarantine" not in p.parts
+            ] if resumed.exists() else []
+            if entries and proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+                killed = True
+                break
+            if proc.poll() is not None:
+                break  # finished before we could kill it — resume is a no-op
+            time.sleep(0.02)
+        proc.wait(timeout=60)
+        partial = store_payloads(resumed)
+        if killed:
+            assert 0 < len(partial) <= len(self.CELLS)
+
+        # Restart against the same store, clean and serial: cached entries
+        # are reused, the rest recomputed, final bytes == clean serial store.
+        result = self.run_cli(
+            ["run", *self.CELLS, "--quiet", "--store", str(resumed),
+             "--dispatch", "multihost-sim", "--workers", "2",
+             "--instance-file", str(instance)]
+        )
+        statuses = [
+            line for line in result.stdout.splitlines() if line.startswith("[ADV")
+        ]
+        assert len(statuses) == len(self.CELLS)
+        for name, payload in partial.items():
+            # whatever survived the kill was reused byte-for-byte
+            assert store_payloads(resumed)[name] == payload
+        assert store_payloads(resumed) == store_payloads(clean)
