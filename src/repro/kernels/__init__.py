@@ -1,8 +1,9 @@
 """Pluggable compute kernels for the coverage arithmetic hot path.
 
 Every :class:`~repro.setcover.SetSystem` delegates its batched primitives
-(per-set marginal gains, projections, element frequencies) to a
-:class:`~repro.kernels.base.Kernel`.  Two interchangeable backends exist:
+(per-set marginal gains, projections, element frequencies, claim resolution)
+to a :class:`~repro.kernels.base.Kernel`.  Three interchangeable in-memory
+backends exist, forming a tier ladder:
 
 ``python``
     :class:`~repro.kernels.pyint.PyIntKernel` — pure Python int bitsets, the
@@ -11,20 +12,30 @@ Every :class:`~repro.setcover.SetSystem` delegates its batched primitives
     :class:`~repro.kernels.numpy_backend.NumpyKernel` — packed ``uint64``
     incidence matrix with vectorized popcount gains.  Requires NumPy
     (``pip install -e .[perf]``).
+``compiled``
+    :class:`~repro.kernels.compiled.CompiledKernel` — numba-jitted parallel
+    sweeps over the same packed matrix (``pip install -e .[compiled]``),
+    degrading to a vectorized NumPy fallback (one warning) when numba is
+    missing.  ``REPRO_KERNEL_THREADS=N`` chunks the row sweeps across
+    threads; results are byte-identical at every thread count.
 
 Backend selection (:func:`resolve_backend`):
 
 * ``backend="python"`` / ``backend="numpy"`` force a backend (forcing NumPy
-  without NumPy installed raises :class:`ValueError`);
-* ``backend="auto"`` (the default everywhere) picks NumPy when it is
-  installed **and** the incidence matrix is large (``n·m`` at least
-  :data:`AUTO_NUMPY_THRESHOLD` cells — below that, packing overhead beats the
-  vectorization win), falling back to pure Python otherwise;
-* the ``REPRO_KERNEL`` environment variable (``python``/``numpy``/``auto``)
-  overrides the *auto* choice without touching call sites — handy for
-  benchmarking both backends on the same workload.
+  without NumPy installed raises :class:`ValueError`); ``backend="compiled"``
+  degrades — to the NumPy fallback flavour without numba, to pure Python
+  without NumPy — with a single warning, never an exception;
+* ``backend="auto"`` (the default everywhere) climbs the ladder on large
+  systems (``n·m`` at least :data:`AUTO_NUMPY_THRESHOLD` cells — below that,
+  packing overhead beats the vectorization win): ``compiled`` when numba is
+  installed, else ``numpy`` when NumPy is, else ``python``;
+* the ``REPRO_KERNEL`` environment variable (``python``/``numpy``/
+  ``compiled``/``auto``) overrides the *auto* choice without touching call
+  sites — handy for benchmarking all backends on the same workload.
 
-Both backends are output-identical bit for bit; only wall-clock changes.
+All backends are output-identical bit for bit — enforced by the conformance
+harness in ``tests/kernel_conformance.py``, which every registered backend
+(current and future) runs through unchanged; only wall-clock differs.
 
 Example — build a kernel over two masks and query a batched primitive::
 
@@ -40,7 +51,8 @@ Example — build a kernel over two masks and query a batched primitive::
 from __future__ import annotations
 
 import os
-from typing import List, Sequence
+import warnings
+from typing import Callable, Dict, List, Sequence
 
 from repro.kernels.base import Kernel
 from repro.kernels.pyint import PyIntKernel
@@ -52,30 +64,120 @@ try:  # NumPy is an optional [perf] extra; everything degrades gracefully.
 except ImportError:  # pragma: no cover - exercised via monkeypatched tests
     HAS_NUMPY = False
 
-#: Names accepted by ``backend=`` parameters throughout the library.
-BACKENDS = ("auto", "python", "numpy")
+try:  # numba is an optional [compiled] extra on top of NumPy.
+    import numba  # noqa: F401
 
-#: Minimum ``n·m`` (incidence-matrix cells) for *auto* to pick NumPy: below
-#: this, packing the matrix costs more than the vectorized ops save.
+    HAS_NUMBA = True
+except ImportError:  # pragma: no cover - the CI compiled job exercises both
+    HAS_NUMBA = False
+
+#: Names accepted by ``backend=`` parameters throughout the library.
+BACKENDS = ("auto", "python", "numpy", "compiled")
+
+#: Minimum ``n·m`` (incidence-matrix cells) for *auto* to leave pure Python:
+#: below this, packing the matrix costs more than the vectorized ops save.
 AUTO_NUMPY_THRESHOLD = 1 << 16
 
 #: Environment variable overriding the *auto* backend choice.
 KERNEL_ENV_VAR = "REPRO_KERNEL"
 
+#: Re-exported worker-thread env var (see :mod:`repro.kernels.compiled`).
+KERNEL_THREADS_ENV_VAR = "REPRO_KERNEL_THREADS"
+
+_WARNED_NO_NUMPY_FOR_COMPILED = False
+
+
+def _factory_python(
+    universe_size: int, masks: Sequence[int], packed=None, threads=None
+) -> Kernel:
+    return PyIntKernel(universe_size, masks)
+
+
+def _factory_numpy(
+    universe_size: int, masks: Sequence[int], packed=None, threads=None
+) -> Kernel:
+    from repro.kernels.numpy_backend import NumpyKernel
+
+    return NumpyKernel(universe_size, masks, packed=packed)
+
+
+def _factory_compiled(
+    universe_size: int, masks: Sequence[int], packed=None, threads=None, chunk_rows=None
+) -> Kernel:
+    from repro.kernels.compiled import DEFAULT_CHUNK_ROWS, CompiledKernel
+
+    return CompiledKernel(
+        universe_size,
+        masks,
+        packed=packed,
+        threads=threads,
+        chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS,
+    )
+
+
+def kernel_registry() -> Dict[str, Callable[..., Kernel]]:
+    """Concrete backend name → factory, in ascending tier order.
+
+    The single source of truth for what can run *in this environment*: the
+    conformance harness, the property suites, and the benchmarks all
+    enumerate this registry, so a newly registered backend is covered by
+    every cross-backend gate automatically.
+    """
+    registry: Dict[str, Callable[..., Kernel]] = {"python": _factory_python}
+    if HAS_NUMPY:
+        registry["numpy"] = _factory_numpy
+        # The compiled backend is constructible whenever NumPy is (its
+        # no-numba fallback mode); numba only changes which flavour runs.
+        registry["compiled"] = _factory_compiled
+    return registry
+
+
+def registered_backends() -> List[str]:
+    """The concrete backends usable in this environment, tier order."""
+    return list(kernel_registry())
+
 
 def available_backends() -> List[str]:
-    """The concrete backends usable in this environment."""
-    return ["python", "numpy"] if HAS_NUMPY else ["python"]
+    """Alias of :func:`registered_backends` (historical name)."""
+    return registered_backends()
+
+
+def capability_report() -> Dict[str, Dict[str, object]]:
+    """Per-backend capability probe for the registered backends."""
+    report: Dict[str, Dict[str, object]] = {}
+    for name in registered_backends():
+        if name == "compiled":
+            from repro.kernels.compiled import CompiledKernel
+
+            report[name] = CompiledKernel.capabilities()
+        else:
+            report[name] = {"jit": False, "parallel_sweeps": False}
+    return report
+
+
+def _warn_compiled_without_numpy() -> None:
+    global _WARNED_NO_NUMPY_FOR_COMPILED
+    if not _WARNED_NO_NUMPY_FOR_COMPILED:
+        _WARNED_NO_NUMPY_FOR_COMPILED = True
+        warnings.warn(
+            "backend 'compiled' requested but NumPy is not installed; "
+            "falling back to the pure-Python kernel — results are identical, "
+            "only slower",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def resolve_backend(backend: str = "auto", universe_size: int = 0, num_sets: int = 0) -> str:
     """Resolve a backend request into a concrete backend name.
 
     ``auto`` consults the :data:`KERNEL_ENV_VAR` environment variable first,
-    then picks NumPy for large systems when available.  An explicit
-    ``"numpy"`` request without NumPy installed raises; an environment-level
-    ``numpy`` hint degrades silently (the env var is advisory, call sites
-    must keep working on a NumPy-less install).
+    then climbs the tier ladder for large systems.  An explicit ``"numpy"``
+    request without NumPy installed raises; an explicit ``"compiled"``
+    request degrades with one warning (the compiled tier promises graceful
+    fallback all the way down to pure Python); an environment-level hint
+    degrades silently (the env var is advisory, call sites must keep working
+    on any install).
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -88,6 +190,11 @@ def resolve_backend(backend: str = "auto", universe_size: int = 0, num_sets: int
                 "install the [perf] extra or use backend='auto'"
             )
         return "numpy"
+    if backend == "compiled":
+        if HAS_NUMPY:
+            return "compiled"
+        _warn_compiled_without_numpy()
+        return "python"
     hint = os.environ.get(KERNEL_ENV_VAR, "auto").strip().lower() or "auto"
     if hint not in BACKENDS:
         raise ValueError(
@@ -95,11 +202,27 @@ def resolve_backend(backend: str = "auto", universe_size: int = 0, num_sets: int
         )
     if hint == "python":
         return "python"
+    if hint == "compiled" and HAS_NUMPY:
+        return "compiled"
     if hint == "numpy" and HAS_NUMPY:
         return "numpy"
     if HAS_NUMPY and universe_size * num_sets >= AUTO_NUMPY_THRESHOLD:
-        return "numpy"
+        # Auto-tier: the jitted backend only outranks NumPy when numba is
+        # actually installed — the fallback flavour would match NumPy's
+        # wall-clock while adding nothing, so auto never picks it.
+        return "compiled" if HAS_NUMBA else "numpy"
     return "python"
+
+
+#: Degradation ladder per resolved backend: a tier that fails to build
+#: (broken install, injected kernel.make fault) falls to the next rung —
+#: all rungs are bit-identical by the conformance suite, so a fallback
+#: costs wall-clock, never bytes.
+_FALLBACK_LADDER = {
+    "python": ("python",),
+    "numpy": ("numpy", "python"),
+    "compiled": ("compiled", "numpy", "python"),
+}
 
 
 def make_kernel(
@@ -107,37 +230,43 @@ def make_kernel(
     masks: Sequence[int],
     backend: str = "auto",
     packed: "bytes | None" = None,
+    threads: "int | None" = None,
 ) -> Kernel:
     """Build the kernel for a mask list, resolving ``backend`` first.
 
     ``packed`` optionally supplies the masks' already-packed incidence buffer
-    (the transport wire form); the NumPy backend adopts it zero-copy instead
-    of re-packing, the pure-Python backend ignores it.
+    (the transport wire form); the packed-matrix backends adopt it zero-copy
+    instead of re-packing, the pure-Python backend ignores it.  ``threads``
+    pins the compiled backend's worker-thread count (defaults to the
+    ``REPRO_KERNEL_THREADS`` environment variable, then 1).
     """
     resolved = resolve_backend(backend, universe_size=universe_size, num_sets=len(masks))
-    if resolved == "numpy":
-        # Degradation ladder, first rung: a NumPy backend that fails to
-        # build (broken install, injected kernel.make fault) falls back to
-        # the pure-Python kernel — the two are bit-identical by the parity
-        # suites, so the fallback costs wall-clock, never bytes.
+    registry = kernel_registry()
+    if resolved == "compiled":
+        # Validate the thread request eagerly: a REPRO_KERNEL_THREADS typo is
+        # a configuration error, not a backend-build failure to degrade past.
+        from repro.kernels.compiled import resolve_threads
+
+        threads = resolve_threads(threads)
+    kernel: Kernel = None  # type: ignore[assignment]
+    for rung in _FALLBACK_LADDER[resolved]:
+        if rung == "python":
+            kernel = PyIntKernel(universe_size, masks)
+            break
         try:
             from repro.resilience.faults import inject
 
-            inject("kernel.make", key=f"numpy:{universe_size}x{len(masks)}")
-            from repro.kernels.numpy_backend import NumpyKernel
-
-            kernel: Kernel = NumpyKernel(universe_size, masks, packed=packed)
+            inject("kernel.make", key=f"{rung}:{universe_size}x{len(masks)}")
+            kernel = registry[rung](universe_size, masks, packed=packed, threads=threads)
+            break
         except Exception as exc:
             from repro.resilience.degrade import record_degradation
 
             record_degradation(
                 "kernel_backend",
                 reason=f"{type(exc).__name__}: {exc}",
-                backend="numpy",
+                backend=rung,
             )
-            kernel = PyIntKernel(universe_size, masks)
-    else:
-        kernel = PyIntKernel(universe_size, masks)
     # Wrap in the metering proxy only while telemetry capture is active, so
     # the telemetry-off path hands out the raw backend unchanged.
     from repro.telemetry import metrics
@@ -152,11 +281,16 @@ def make_kernel(
 __all__ = [
     "AUTO_NUMPY_THRESHOLD",
     "BACKENDS",
+    "HAS_NUMBA",
     "HAS_NUMPY",
     "KERNEL_ENV_VAR",
+    "KERNEL_THREADS_ENV_VAR",
     "Kernel",
     "PyIntKernel",
     "available_backends",
+    "capability_report",
+    "kernel_registry",
     "make_kernel",
+    "registered_backends",
     "resolve_backend",
 ]

@@ -10,19 +10,29 @@ built on).  All masks cross the boundary as plain Python integers (bit ``i``
 set means element ``i`` present), so every backend is interchangeable and
 callers never see the internal representation.
 
-Two backends implement the protocol:
+The backend tier ladder implements the protocol (see
+:func:`repro.kernels.kernel_registry` for what is registered in the current
+environment):
 
 * :class:`~repro.kernels.pyint.PyIntKernel` — the seed implementation's pure
-  Python int-bitset arithmetic, always available.
+  Python int-bitset arithmetic, always available, and the conformance
+  *reference* every other backend is compared against.
 * :class:`~repro.kernels.numpy_backend.NumpyKernel` — a packed ``uint64``
   matrix of shape ``(m, ceil(n/64))`` with vectorized word-popcount gains,
   used automatically on large systems when NumPy is installed.
+* :class:`~repro.kernels.compiled.CompiledKernel` — numba-jitted parallel
+  sweeps over the same packed matrix (optional ``REPRO_KERNEL_THREADS``
+  row-chunk threading), with a vectorized NumPy fallback when numba is
+  missing.
+* :class:`~repro.kernels.chunked.ChunkedKernel` — the out-of-core flavour,
+  windowing any :class:`~repro.setcover.source.InstanceSource`.
 
-Both backends must be *output-identical*: same gains, same projections, same
-frequencies, same claim winners for the same inputs.  The property suites in
-``tests/property/test_prop_kernels.py`` and
-``tests/property/test_prop_streaming.py`` enforce this parity on random
-systems and on whole streaming runs.
+Every backend must be *output-identical*: same gains, same projections, same
+frequencies, same claim winners for the same inputs.  The reusable
+conformance harness in ``tests/kernel_conformance.py`` enforces this bit for
+bit over every registered backend and an adversarial shape grid; the
+property suites in ``tests/property/`` extend the same parity to random
+systems, whole greedy runs, and whole streaming runs.
 
 Example — any object with the batched primitives satisfies the protocol::
 

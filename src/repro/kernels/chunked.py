@@ -59,7 +59,10 @@ class ChunkedKernel:
         self._universe = (1 << self._n) - 1
         self.backend = resolve_backend(backend, self._n, self._m)
         self._np = None
-        if self.backend == "numpy":
+        if self.backend in ("numpy", "compiled"):
+            # The compiled tier has no windowed jit path (yet); its windows
+            # run the same vectorized word ops as the numpy flavour, so the
+            # resolved name only changes the label, never the bytes.
             import numpy
 
             self._np = numpy

@@ -4,6 +4,11 @@ Maximum coverage asks for ``k`` sets covering as many elements as possible.
 The paper's Result 2 / Theorem 4 concerns its streaming variant; here we
 provide the offline greedy ``(1 - 1/e)``-approximation and an exact solver
 (used as ground truth for the ``D_MC`` gap experiments, where ``k = 2``).
+
+The greedy solver runs on the shared lazy picker, so its picks flow through
+the same batched kernel primitives as set cover — any registered backend
+(python / numpy / compiled) yields the identical ``(chosen, covered)``
+answer, a parity the conformance and property suites pin down.
 """
 
 from __future__ import annotations

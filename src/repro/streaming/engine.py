@@ -7,6 +7,12 @@ algorithms means an algorithm cannot accidentally report better numbers than
 it achieved — in particular, an empty solution is verified like any other,
 so a broken algorithm cannot report an unverified "cover" of size 0 over a
 nonempty universe.
+
+The engine never inspects which compute-kernel backend the instance rides
+on: a run is byte-identical whether the batched primitives execute on the
+pure-Python, NumPy, or compiled kernel (at any thread count) — the
+cross-backend ``StreamingResult`` parity the differential suite in
+``tests/property/test_prop_compiled.py`` pins down.
 """
 
 from __future__ import annotations

@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# Make the reusable cross-backend harness (tests/kernel_conformance.py)
+# importable from every test directory, including tests/property/.
+_TESTS_DIR = str(Path(__file__).resolve().parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
 
 from repro.setcover.instance import SetCoverInstance, SetSystem
 from repro.utils.rng import RandomSource

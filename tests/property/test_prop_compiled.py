@@ -1,0 +1,195 @@
+"""Hypothesis differential suite for the compiled kernel backend.
+
+Random set systems are pushed through *whole* solver and streaming runs on
+every backend the registry knows about, and every observable is compared
+against the pure-Python reference:
+
+* full greedy set-cover traces (picks, per-step statistics, exceptions);
+* whole :class:`~repro.streaming.algorithm_base.StreamingResult` objects for
+  the one-pass baselines (Emek–Rosén exercises the parallel claim sweep,
+  store-everything exercises greedy over restricted systems);
+* the compiled backend at thread counts {1, 2, 4} with deliberately tiny
+  chunks, pinning the parallel sweeps deterministic — byte-identical output
+  at every thread count, on every drawn system.
+
+Backends are enumerated from :func:`repro.kernels.kernel_registry`, so a
+future fourth backend lands in this differential suite with no edits.
+"""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from kernel_conformance import assert_kernel_conformance, build_kernel, key_patterns
+from repro.baselines import EmekRosenSemiStreaming, StoreEverythingSetCover
+from repro.exceptions import InfeasibleInstanceError
+from repro.kernels import registered_backends
+from repro.kernels.pyint import PyIntKernel
+from repro.setcover.greedy import greedy_cover_trace
+from repro.setcover.instance import SetSystem
+from repro.streaming.engine import run_streaming_algorithm
+from repro.streaming.stream import StreamOrder
+
+BACKENDS = registered_backends()
+HAS_COMPILED = "compiled" in BACKENDS
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+@st.composite
+def mask_systems(draw, max_n=80, max_m=10):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    masks = draw(
+        st.lists(st.integers(min_value=0, max_value=(1 << n) - 1), min_size=m, max_size=m)
+    )
+    return n, masks
+
+
+@st.composite
+def coverable_mask_systems(draw, max_n=14, max_m=7):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    universe = (1 << n) - 1
+    masks = draw(
+        st.lists(st.integers(min_value=0, max_value=universe), min_size=m, max_size=m)
+    )
+    union = 0
+    for mask in masks:
+        union |= mask
+    if union != universe:
+        masks[0] |= universe & ~union
+    return n, masks
+
+
+class TestWholeGreedyRunParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=40, deadline=None)
+    @given(data=mask_systems())
+    def test_full_trace_matches_python_backend(self, backend, data):
+        n, masks = data
+        reference = SetSystem.from_masks(n, masks, backend="python")
+        system = SetSystem.from_masks(n, masks, backend=backend)
+        try:
+            expected = greedy_cover_trace(reference)
+        except InfeasibleInstanceError:
+            with pytest.raises(InfeasibleInstanceError):
+                greedy_cover_trace(system)
+            return
+        actual = greedy_cover_trace(system)
+        assert actual.solution == expected.solution
+        assert actual.steps == expected.steps
+
+
+class TestWholeStreamingRunParity:
+    @settings(max_examples=25, deadline=None)
+    @given(data=coverable_mask_systems(), order_seed=st.sampled_from([None, 7, 12345]))
+    def test_streaming_results_identical_across_registry(self, data, order_seed):
+        n, masks = data
+        order = StreamOrder.ADVERSARIAL if order_seed is None else StreamOrder.RANDOM
+        for build in (
+            EmekRosenSemiStreaming,  # one batched claim_resolution pass
+            lambda: StoreEverythingSetCover(solver="greedy"),
+        ):
+            results = {}
+            for backend in BACKENDS:
+                pinned = SetSystem.from_masks(n, masks, backend=backend)
+                results[backend] = run_streaming_algorithm(
+                    build(),
+                    pinned,
+                    order=order,
+                    seed=order_seed,
+                    verify_solution=False,
+                )
+            for backend in BACKENDS[1:]:
+                assert results[backend] == results["python"], (
+                    f"{backend} StreamingResult diverged from python"
+                )
+
+
+@pytest.mark.skipif(not HAS_COMPILED, reason="compiled backend unavailable")
+class TestThreadDeterminism:
+    """Thread counts {1, 2, 4} must be byte-identical to serial and PyInt."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=mask_systems(max_n=70, max_m=9), uncovered_bits=st.integers(min_value=0))
+    def test_primitives_identical_at_every_thread_count(self, data, uncovered_bits):
+        n, masks = data
+        uncovered = uncovered_bits & ((1 << n) - 1)
+        reference = PyIntKernel(n, masks)
+        expected_claims = {
+            name: reference.claim_resolution(keys)
+            for name, keys in key_patterns(len(masks))
+        }
+        for threads in (1, 2, 4):
+            kernel = build_kernel("compiled", n, masks, threads=threads, chunk_rows=2)
+            assert kernel.gains(uncovered) == reference.gains(uncovered)
+            assert kernel.best_gain_index(uncovered) == reference.best_gain_index(
+                uncovered
+            )
+            assert kernel.element_frequencies() == reference.element_frequencies()
+            for name, keys in key_patterns(len(masks)):
+                assert kernel.claim_resolution(keys) == expected_claims[name], (
+                    threads,
+                    name,
+                )
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=mask_systems(max_n=48, max_m=8))
+    def test_full_conformance_at_every_thread_count(self, data):
+        n, masks = data
+        for threads in (1, 2, 4):
+            kernel = build_kernel("compiled", n, masks, threads=threads, chunk_rows=2)
+            assert_kernel_conformance(kernel, n, masks)
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=coverable_mask_systems())
+    def test_streaming_result_identical_at_every_thread_count(self, data):
+        """Whole Emek–Rosén runs (claim-sweep heavy) pinned across threads.
+
+        The thread count rides in via the environment knob — exactly how a
+        production deployment would set it — re-resolved per system build.
+        """
+        import os
+
+        n, masks = data
+        results = []
+        for threads in (1, 2, 4):
+            os.environ["REPRO_KERNEL_THREADS"] = str(threads)
+            try:
+                pinned = SetSystem.from_masks(n, masks, backend="compiled")
+                results.append(
+                    run_streaming_algorithm(
+                        EmekRosenSemiStreaming(),
+                        pinned,
+                        order=StreamOrder.ADVERSARIAL,
+                        verify_solution=False,
+                    )
+                )
+            finally:
+                os.environ.pop("REPRO_KERNEL_THREADS", None)
+        assert results[0] == results[1] == results[2]
+
+
+def test_no_numba_warning_is_single_shot():
+    """On a numba-less interpreter the compiled tier warns exactly once."""
+    if not HAS_COMPILED:
+        pytest.skip("compiled backend unavailable")
+    from repro.kernels import compiled
+
+    if compiled.HAS_NUMBA:
+        pytest.skip("numba installed: no fallback warning expected")
+    original = compiled._WARNED_NO_NUMBA
+    compiled._WARNED_NO_NUMBA = False
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            build_kernel("compiled", 8, [0b1010, 0b0101])
+            build_kernel("compiled", 8, [0b1010, 0b0101])
+        fallback_warnings = [
+            w for w in caught if "numba is not installed" in str(w.message)
+        ]
+        assert len(fallback_warnings) == 1
+    finally:
+        compiled._WARNED_NO_NUMBA = original

@@ -17,13 +17,18 @@ from hypothesis import given, settings, strategies as st
 
 import repro.kernels as kernels
 from repro.exceptions import InfeasibleInstanceError
-from repro.kernels import PyIntKernel, make_kernel
+from repro.kernels import PyIntKernel, make_kernel, registered_backends
 from repro.setcover.greedy import greedy_cover_trace
 from repro.setcover.instance import SetSystem
 from repro.setcover.maxcover import greedy_max_coverage
 from repro.utils.bitset import bitset_size
 
-BACKENDS = ["python"] + (["numpy"] if kernels.HAS_NUMPY else [])
+# Enumerated from the make_kernel registry so newly registered backends are
+# covered by these suites automatically (no hardcoded name lists).
+BACKENDS = registered_backends()
+ACCELERATED = [name for name in BACKENDS if name != "python"]
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
 
 
 @st.composite
@@ -86,21 +91,22 @@ def reference_greedy_max_coverage(system, k):
 
 
 class TestBackendParity:
-    @pytest.mark.skipif(not kernels.HAS_NUMPY, reason="NumPy not installed")
+    @pytest.mark.skipif(not ACCELERATED, reason="no accelerated backends installed")
     @settings(max_examples=60, deadline=None)
     @given(data=mask_systems(), uncovered_bits=st.integers(min_value=0))
-    def test_numpy_matches_python(self, data, uncovered_bits):
+    def test_registered_backends_match_python(self, data, uncovered_bits):
         n, masks = data
         uncovered = uncovered_bits & ((1 << n) - 1)
         py = PyIntKernel(n, masks)
-        np_kernel = make_kernel(n, masks, backend="numpy")
-        assert np_kernel.gains(uncovered) == py.gains(uncovered)
-        assert np_kernel.restrict(uncovered) == py.restrict(uncovered)
-        assert np_kernel.element_frequencies() == py.element_frequencies()
-        assert np_kernel.union() == py.union()
-        assert np_kernel.set_sizes() == py.set_sizes()
-        for index in range(len(masks)):
-            assert np_kernel.gain(index, uncovered) == py.gain(index, uncovered)
+        for backend in ACCELERATED:
+            kernel = make_kernel(n, masks, backend=backend)
+            assert kernel.gains(uncovered) == py.gains(uncovered), backend
+            assert kernel.restrict(uncovered) == py.restrict(uncovered), backend
+            assert kernel.element_frequencies() == py.element_frequencies(), backend
+            assert kernel.union() == py.union(), backend
+            assert kernel.set_sizes() == py.set_sizes(), backend
+            for index in range(len(masks)):
+                assert kernel.gain(index, uncovered) == py.gain(index, uncovered)
 
     @settings(max_examples=40, deadline=None)
     @given(data=mask_systems())

@@ -12,8 +12,9 @@ from pathlib import Path
 
 from hypothesis import given, settings, strategies as st
 
-import repro.kernels as kernels
-from repro.kernels import PyIntKernel
+import pytest
+
+from repro.kernels import PyIntKernel, registered_backends
 from repro.kernels.chunked import ChunkedKernel
 from repro.setcover.instance import SetSystem
 from repro.setcover.source import (
@@ -23,7 +24,11 @@ from repro.setcover.source import (
     write_container,
 )
 
-BACKENDS = ["python"] + (["numpy"] if kernels.HAS_NUMPY else [])
+# Enumerated from the make_kernel registry so newly registered backends are
+# covered by the windowed-kernel parity sweep automatically.
+BACKENDS = registered_backends()
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
 
 
 @st.composite

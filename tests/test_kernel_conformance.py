@@ -1,0 +1,110 @@
+"""Drive the cross-backend conformance harness over the kernel registry.
+
+The harness itself lives in ``tests/kernel_conformance.py``; this file only
+parameterizes it: every registered backend × every adversarial shape, plus
+thread-count / chunk-size sweeps for the compiled backend and a telemetry
+leg proving ``kernel.calls.*`` metering survives the compiled paths.
+"""
+
+import warnings
+
+import pytest
+
+from kernel_conformance import (
+    CONFORMANCE_CASES,
+    assert_kernel_conformance,
+    build_kernel,
+)
+from repro.kernels import kernel_registry, registered_backends
+
+CASE_IDS = sorted(CONFORMANCE_CASES)
+
+
+@pytest.mark.parametrize("backend", registered_backends())
+@pytest.mark.parametrize("case", CASE_IDS)
+def test_backend_conforms_to_reference(backend, case):
+    universe_size, masks = CONFORMANCE_CASES[case]
+    kernel = build_kernel(backend, universe_size, masks)
+    assert_kernel_conformance(kernel, universe_size, masks)
+
+
+@pytest.mark.skipif(
+    "compiled" not in registered_backends(), reason="compiled backend unavailable"
+)
+@pytest.mark.parametrize("threads", [1, 2, 4])
+@pytest.mark.parametrize("case", CASE_IDS)
+def test_compiled_conforms_at_every_thread_count(threads, case):
+    """Parallel sweeps must be deterministic: same bytes at 1, 2, 4 threads.
+
+    ``chunk_rows=2`` forces genuinely multi-chunk sweeps even on the tiny
+    conformance shapes, so the chunk-merge tie-breaking is really exercised.
+    """
+    universe_size, masks = CONFORMANCE_CASES[case]
+    kernel = build_kernel(
+        "compiled", universe_size, masks, threads=threads, chunk_rows=2
+    )
+    assert_kernel_conformance(kernel, universe_size, masks)
+
+
+@pytest.mark.skipif(
+    "compiled" not in registered_backends(), reason="compiled backend unavailable"
+)
+def test_registry_factories_accept_packed_buffers():
+    """Packed transport buffers are adopted without changing any observable."""
+    universe_size, masks = CONFORMANCE_CASES["three-words"]
+    resident = build_kernel("compiled", universe_size, masks)
+    packed = resident.packed_bytes()
+    adopted = kernel_registry()["compiled"](universe_size, masks, packed=packed)
+    assert_kernel_conformance(adopted, universe_size, masks)
+
+
+@pytest.mark.skipif(
+    "compiled" not in registered_backends(), reason="compiled backend unavailable"
+)
+def test_metering_counts_compiled_primitives():
+    """kernel.calls.* / kernel.words.* accumulate through the compiled paths."""
+    from repro.kernels import make_kernel
+    from repro.telemetry.metrics import MetricsRegistry, _ACTIVE
+
+    universe_size, masks = CONFORMANCE_CASES["mixed-random"]
+    registry = MetricsRegistry()
+    token = _ACTIVE.set(registry)
+    try:
+        kernel = make_kernel(universe_size, masks, backend="compiled")
+        kernel.gains((1 << universe_size) - 1)
+        kernel.claim_resolution([1] * len(masks))
+        tracker = kernel.gain_tracker((1 << universe_size) - 1)
+        tracker.best()
+        tracker.cover(masks[0])
+    finally:
+        _ACTIVE.reset(token)
+    assert kernel.backend == "compiled"
+    assert registry.counters["kernel.calls.gains"] == 1
+    assert registry.counters["kernel.calls.claim_resolution"] == 1
+    assert registry.counters["kernel.calls.gain_tracker"] == 1
+    assert registry.counters["kernel.calls.tracker_best"] == 1
+    assert registry.counters["kernel.calls.tracker_cover"] == 1
+    assert registry.counters["kernel.words.gains"] > 0
+
+
+def test_conformance_suite_is_importable_as_a_library():
+    """Future backends import the harness; keep its public surface stable."""
+    import kernel_conformance
+
+    for name in (
+        "CONFORMANCE_CASES",
+        "assert_backend_conformance",
+        "assert_kernel_conformance",
+        "build_kernel",
+        "key_patterns",
+        "query_masks",
+    ):
+        assert hasattr(kernel_conformance, name)
+
+
+@pytest.fixture(autouse=True)
+def _silence_no_numba_warning():
+    """The fallback warning is expected noise on numba-less interpreters."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        yield

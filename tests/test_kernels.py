@@ -1,6 +1,7 @@
 """Unit tests for the pluggable compute kernels (repro.kernels)."""
 
 import pickle
+import warnings
 
 import pytest
 
@@ -11,7 +12,9 @@ from repro.kernels import (
     KERNEL_ENV_VAR,
     PyIntKernel,
     available_backends,
+    kernel_registry,
     make_kernel,
+    registered_backends,
     resolve_backend,
 )
 from repro.setcover.instance import SetSystem
@@ -25,12 +28,10 @@ requires_numpy = pytest.mark.skipif(not kernels.HAS_NUMPY, reason="NumPy not ins
 
 
 def both_kernels():
-    built = [PyIntKernel(N, MASKS)]
-    if kernels.HAS_NUMPY:
-        from repro.kernels.numpy_backend import NumpyKernel
-
-        built.append(NumpyKernel(N, MASKS))
-    return built
+    """One raw kernel per registered backend (registry-enumerated)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)  # no-numba fallback note
+        return [factory(N, MASKS) for factory in kernel_registry().values()]
 
 
 class TestBackendResolution:
@@ -90,6 +91,99 @@ class TestBackendResolution:
     def test_make_kernel_numpy(self):
         kernel = make_kernel(N, MASKS, backend="numpy")
         assert kernel.backend == "numpy"
+
+    def test_registry_matches_available_backends(self):
+        assert registered_backends() == available_backends()
+        assert list(kernel_registry()) == registered_backends()
+        assert registered_backends()[0] == "python"
+
+
+@requires_numpy
+class TestCompiledResolutionAndFallbackLadder:
+    """The compiled tier's selection rules and graceful degradation ladder:
+    numba missing → NumPy-fallback flavour (one warning), NumPy missing →
+    pure Python (one warning), failed builds → next rung, bytes unchanged."""
+
+    def test_explicit_compiled_resolves(self):
+        assert resolve_backend("compiled", 4, 4) == "compiled"
+
+    def test_env_var_forces_compiled(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "compiled")
+        assert resolve_backend("auto", 2, 2) == "compiled"
+
+    def test_auto_tier_requires_numba_for_compiled(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        monkeypatch.setattr(kernels, "HAS_NUMBA", False)
+        assert resolve_backend("auto", 1 << 12, 1 << 12) == "numpy"
+        monkeypatch.setattr(kernels, "HAS_NUMBA", True)
+        assert resolve_backend("auto", 1 << 12, 1 << 12) == "compiled"
+
+    def test_make_kernel_compiled_flavour(self):
+        from repro.kernels.compiled import HAS_NUMBA, CompiledKernel
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            kernel = make_kernel(N, MASKS, backend="compiled")
+        assert kernel.backend == "compiled"
+        assert isinstance(kernel, CompiledKernel)
+        assert kernel.jitted == HAS_NUMBA  # fallback flavour on numba-less
+        assert kernel.gains(0b11111) == PyIntKernel(N, MASKS).gains(0b11111)
+
+    def test_numpy_missing_compiled_degrades_to_python_with_one_warning(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(kernels, "HAS_NUMPY", False)
+        monkeypatch.setattr(kernels, "_WARNED_NO_NUMPY_FOR_COMPILED", False)
+        with pytest.warns(RuntimeWarning, match="NumPy is not installed"):
+            assert resolve_backend("compiled") == "python"
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert resolve_backend("compiled") == "python"  # second time: silent
+        assert not caught
+        kernel = make_kernel(N, MASKS, backend="compiled")
+        assert isinstance(kernel, PyIntKernel)
+        assert kernel.gains(0b11111) == PyIntKernel(N, MASKS).gains(0b11111)
+
+    def test_numpy_missing_env_hint_compiled_degrades(self, monkeypatch):
+        monkeypatch.setattr(kernels, "HAS_NUMPY", False)
+        monkeypatch.setenv(KERNEL_ENV_VAR, "compiled")
+        assert resolve_backend("auto", 1 << 12, 1 << 12) == "python"
+
+    def test_failed_compiled_build_falls_back_to_numpy(self, monkeypatch):
+        """One broken rung falls exactly one rung, not all the way down."""
+        from repro.kernels.compiled import CompiledKernel
+        from repro.kernels.numpy_backend import NumpyKernel
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("simulated compiled-build failure")
+
+        monkeypatch.setattr(kernels, "_factory_compiled", boom)
+        kernel = make_kernel(N, MASKS, backend="compiled")
+        underlying = getattr(kernel, "_kernel", kernel)
+        assert isinstance(underlying, NumpyKernel)
+        assert not isinstance(underlying, CompiledKernel)
+        assert kernel.gains(0b11111) == PyIntKernel(N, MASKS).gains(0b11111)
+
+    def test_injected_build_faults_fall_to_pyint(self):
+        """A rate-1 kernel.make fault breaks every accelerated rung: the
+        ladder bottoms out at the always-available pure-Python kernel."""
+        from repro.resilience.faults import fault_plan_active, parse_fault_spec
+
+        with fault_plan_active(parse_fault_spec("seed=1,kernel.make:raise:1:1")):
+            kernel = make_kernel(N, MASKS, backend="compiled")
+        underlying = getattr(kernel, "_kernel", kernel)
+        assert isinstance(underlying, PyIntKernel)
+        assert kernel.gains(0b11111) == PyIntKernel(N, MASKS).gains(0b11111)
+
+    def test_threads_argument_and_env(self, monkeypatch):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert make_kernel(N, MASKS, backend="compiled", threads=3).threads == 3
+            monkeypatch.setenv("REPRO_KERNEL_THREADS", "2")
+            assert make_kernel(N, MASKS, backend="compiled").threads == 2
+            monkeypatch.setenv("REPRO_KERNEL_THREADS", "lots")
+            with pytest.raises(ValueError):
+                make_kernel(N, MASKS, backend="compiled")
 
 
 class TestKernelPrimitives:
